@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) of the library's hot kernels: GEMM,
+// im2col, fault injection, analog column reads, BIST runs, fault-view
+// construction, and NoC cycle stepping. These bound the wall-clock cost of
+// the figure-reproduction benches.
+
+#include <benchmark/benchmark.h>
+
+#include "bist/controller.hpp"
+#include "noc/network.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "xbar/mapper.hpp"
+
+namespace {
+
+using namespace remapd;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  ConvGeom g{8, 16, 16, 3, 3, 1, 1};
+  Rng rng(2);
+  Tensor img = Tensor::randn(Shape{8, 16, 16}, rng);
+  std::vector<float> col(g.col_rows() * g.col_cols());
+  for (auto _ : state) {
+    im2col(img.data(), g, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_FaultInjection(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    Crossbar xb(128, 128);
+    xb.inject_clustered_faults(164, 0.9, 2, rng);  // 1% density
+    benchmark::DoNotOptimize(xb.fault_count());
+  }
+}
+BENCHMARK(BM_FaultInjection);
+
+void BM_ColumnCurrents(benchmark::State& state) {
+  Crossbar xb(128, 128);
+  Rng rng(4);
+  xb.inject_random_faults(164, 0.9, rng);
+  for (auto _ : state) {
+    auto currents = all_column_currents(xb, TestPattern::kAllZero);
+    benchmark::DoNotOptimize(currents.data());
+  }
+}
+BENCHMARK(BM_ColumnCurrents);
+
+void BM_BistRun(benchmark::State& state) {
+  Crossbar xb(128, 128);
+  Rng rng(5);
+  xb.inject_random_faults(164, 0.9, rng);
+  BistController bist;
+  for (auto _ : state) {
+    const BistReport rep = bist.run(xb);
+    benchmark::DoNotOptimize(rep.density_estimate);
+  }
+}
+BENCHMARK(BM_BistRun);
+
+void BM_BuildFaultView(benchmark::State& state) {
+  RcsConfig cfg = RcsConfig::sized_for(80, 32, 32);
+  Rcs rcs(cfg);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{64, 576}});
+  Rng rng(6);
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x)
+    rcs.crossbar(x).inject_random_faults(10, 0.9, rng);
+  for (auto _ : state) {
+    FaultView v = mapper.build_fault_view(0, Phase::kBackward, 0.5f);
+    benchmark::DoNotOptimize(v.clamps.data());
+  }
+}
+BENCHMARK(BM_BuildFaultView);
+
+void BM_NocBroadcast(benchmark::State& state) {
+  using namespace remapd::noc;
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{8, 8};
+  for (auto _ : state) {
+    Network net(cfg);
+    net.inject(PacketKind::kRemapRequest, 0, kBroadcast, 1);
+    benchmark::DoNotOptimize(net.run_until_idle());
+  }
+}
+BENCHMARK(BM_NocBroadcast);
+
+void BM_NocWeightTransfer(benchmark::State& state) {
+  using namespace remapd::noc;
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{8, 8};
+  for (auto _ : state) {
+    Network net(cfg);
+    net.inject(PacketKind::kWeightTransfer, 0, 63, 1024);
+    benchmark::DoNotOptimize(net.run_until_idle());
+  }
+}
+BENCHMARK(BM_NocWeightTransfer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// BIST walkthrough: inject a clustered fault pattern into one 128x128
+// crossbar, drive the Fig. 2 FSM cycle by cycle, and compare the density
+// estimate the analog read-out produces against ground truth.
+
+#include <cstdio>
+
+#include "bist/controller.hpp"
+
+int main() {
+  using namespace remapd;
+
+  Crossbar xb(128, 128);
+  Rng rng(2023);
+  xb.inject_clustered_faults(131, 0.9, 2, rng);  // ~0.8% density, clustered
+  std::printf("== BIST demo on a 128x128 crossbar ==\n\n");
+  std::printf("injected: %zu faults (%zu SA0, %zu SA1), density %.3f%%\n\n",
+              xb.fault_count(), xb.fault_count(CellFault::kStuckAt0),
+              xb.fault_count(CellFault::kStuckAt1),
+              100.0 * xb.fault_density());
+
+  // Drive the FSM manually to show the Fig. 2 state schedule.
+  BistFsm fsm(xb.rows());
+  fsm.start();
+  std::printf("FSM schedule (state: cycles spent):\n");
+  BistState prev = fsm.state();
+  std::uint64_t entered = 0;
+  while (!fsm.finished()) {
+    const BistState worked = fsm.step();
+    if (worked != prev) {
+      std::printf("  %-12s: cycles %llu..%llu\n", bist_state_name(prev),
+                  static_cast<unsigned long long>(entered + 1),
+                  static_cast<unsigned long long>(fsm.cycles_elapsed() - 1));
+      prev = worked;
+      entered = fsm.cycles_elapsed() - 1;
+    }
+  }
+  std::printf("  %-12s: cycles %llu..%llu\n", bist_state_name(prev),
+              static_cast<unsigned long long>(entered + 1),
+              static_cast<unsigned long long>(fsm.cycles_elapsed()));
+  std::printf("total: %llu ReRAM cycles = %.1f us (paper: 260 cycles)\n\n",
+              static_cast<unsigned long long>(fsm.cycles_elapsed()),
+              static_cast<double>(fsm.cycles_elapsed()) * kReramCycleNs /
+                  1000.0);
+
+  // Full controller run: analog column reads + calibration.
+  BistController bist;
+  const BistReport rep = bist.run(xb);
+  std::printf("BIST report:\n");
+  std::printf("  SA1 estimate     : %zu (true %zu)\n", rep.sa1_estimate,
+              xb.fault_count(CellFault::kStuckAt1));
+  std::printf("  SA0 estimate     : %zu (true %zu)\n", rep.sa0_estimate,
+              xb.fault_count(CellFault::kStuckAt0));
+  std::printf("  density estimate : %.3f%% (true %.3f%%)\n",
+              100.0 * rep.density_estimate, 100.0 * xb.fault_density());
+  std::printf("\nonly the density leaves the BIST module — no per-cell "
+              "locations, which is what keeps it at 0.61%% area overhead.\n");
+  return 0;
+}

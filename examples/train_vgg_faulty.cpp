@@ -1,0 +1,54 @@
+// Train a CNN of the zoo on a faulty RCS with a selectable fault-tolerance
+// policy, printing the per-epoch history (loss, accuracy, BIST density
+// survey, remap activity). This is the workload of the paper's Fig. 6, for
+// one model/policy pair at a time.
+//
+// Usage: train_vgg_faulty [model] [policy] [epochs]
+//   model   vgg11|vgg16|vgg19|resnet12|resnet18|squeezenet (default vgg16)
+//   policy  none|an-code|static|remap-ws|remap-t-5|remap-t-10|remap-d
+//           (default remap-d)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "trainer/fault_aware_trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace remapd;
+  const std::string model = argc > 1 ? argv[1] : "vgg16";
+  const std::string policy = argc > 2 ? argv[2] : "remap-d";
+
+  TrainerConfig cfg = recommended_config(model);
+  if (argc > 3) cfg.epochs = static_cast<std::size_t>(std::atoi(argv[3]));
+  apply_env_overrides(cfg);
+  cfg.policy = policy;
+  cfg.faults = FaultScenario::paper_default_compressed(cfg.epochs);
+
+  std::printf("== %s + %s on a faulty RCS ==\n", model.c_str(),
+              policy.c_str());
+  std::printf("pre-deployment: 20%% of crossbars at 0.4-1%% density, "
+              "SA0:SA1 = 9:1, clustered\n");
+  std::printf("post-deployment: %.2f%% new cells on %.1f%% of crossbars per "
+              "epoch (time-compressed)\n\n",
+              100.0 * cfg.faults.post_cell_fraction,
+              100.0 * cfg.faults.post_xbar_fraction);
+
+  FaultAwareTrainer trainer(cfg);
+  std::printf("RCS: %zu tiles, %zu crossbars (%zux%zu), %zu mapped tasks\n\n",
+              trainer.rcs().num_tiles(), trainer.rcs().total_crossbars(),
+              cfg.xbar_size, cfg.xbar_size, trainer.mapper().num_tasks());
+
+  const TrainResult r = trainer.run();
+  std::printf("%6s %10s %10s %10s %8s %12s %10s\n", "epoch", "loss",
+              "train_acc", "test_acc", "remaps", "mean_dens", "faults");
+  for (const EpochRecord& e : r.history)
+    std::printf("%6zu %10.4f %10.3f %10.3f %8zu %11.4f%% %10zu\n", e.epoch,
+                e.train_loss, e.train_accuracy, e.test_accuracy, e.remaps,
+                100.0 * e.mean_density_est, e.total_faults);
+
+  std::printf("\nfinal accuracy: %.3f  (total remaps %zu, policy area "
+              "overhead %.2f%%)\n",
+              r.final_test_accuracy, r.total_remaps,
+              r.policy_area_overhead_percent);
+  return 0;
+}

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Plot the CSV outputs of the figure benches (matplotlib, optional).
+
+Each bench writes its series next to the working directory it ran in:
+  fig4_bist_current.csv, fig5_phase_tolerance.csv, fig6_solutions.csv,
+  fig7_postfault_sweep.csv, fig8_scalability.csv, noc_overhead.csv,
+  area_breakdown.csv, ablation.csv
+
+Usage: plot_results.py [csv_dir] [out_dir]
+Produces one PNG per figure in out_dir (default: csv_dir).
+"""
+
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else csv_dir
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to plot", file=sys.stderr)
+        return 1
+
+    def save(fig, name):
+        path = os.path.join(out_dir, name)
+        fig.tight_layout()
+        fig.savefig(path, dpi=150)
+        print("wrote", path)
+
+    # Fig. 4: current vs fault count.
+    p = os.path.join(csv_dir, "fig4_bist_current.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        fig, axes = plt.subplots(1, 2, figsize=(9, 3.5))
+        for ax, test in zip(axes, ("SA0", "SA1")):
+            sel = [r for r in rows if r["test"] == test and r["rows"] == "4"]
+            ks = [int(r["faults"]) for r in sel]
+            ax.plot(ks, [float(r["mean_uA"]) for r in sel], "o-", label="mean")
+            ax.fill_between(ks, [float(r["min_uA"]) for r in sel],
+                            [float(r["max_uA"]) for r in sel], alpha=0.3)
+            ax.set_xlabel(f"# {test} faults in column")
+            ax.set_ylabel("output current (uA)")
+            ax.set_title(f"{test} test (4x4 array)")
+        save(fig, "fig4.png")
+
+    # Fig. 5: phase tolerance bars.
+    p = os.path.join(csv_dir, "fig5_phase_tolerance.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(7, 3.5))
+        models = [r["model"] for r in rows]
+        x = range(len(models))
+        w = 0.27
+        for i, key in enumerate(("ideal", "forward", "backward")):
+            ax.bar([xi + (i - 1) * w for xi in x],
+                   [float(r[key]) for r in rows], w, label=key)
+        ax.set_xticks(list(x), models)
+        ax.set_ylabel("test accuracy")
+        ax.legend()
+        ax.set_title("Fig. 5: 2% faults in forward vs backward crossbars")
+        save(fig, "fig5.png")
+
+    # Fig. 6: solution comparison.
+    p = os.path.join(csv_dir, "fig6_solutions.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        keys = [k for k in rows[0] if k != "model"]
+        fig, ax = plt.subplots(figsize=(10, 4))
+        x = range(len(rows))
+        w = 0.8 / len(keys)
+        for i, key in enumerate(keys):
+            ax.bar([xi + i * w for xi in x], [float(r[key]) for r in rows],
+                   w, label=key)
+        ax.set_xticks([xi + 0.4 for xi in x], [r["model"] for r in rows])
+        ax.set_ylabel("test accuracy")
+        ax.legend(ncol=4, fontsize=8)
+        ax.set_title("Fig. 6: fault-tolerance solutions under pre+post faults")
+        save(fig, "fig6.png")
+
+    # Fig. 7: (m, n) sweep heat lines.
+    p = os.path.join(csv_dir, "fig7_postfault_sweep.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        models = sorted({r["model"] for r in rows})
+        fig, axes = plt.subplots(1, len(models), figsize=(9, 3.5))
+        if len(models) == 1:
+            axes = [axes]
+        for ax, model in zip(axes, models):
+            sel = [r for r in rows if r["model"] == model]
+            for n in sorted({r["n_pct"] for r in sel}, key=float):
+                pts = [r for r in sel if r["n_pct"] == n]
+                ax.plot([float(r["m_pct"]) for r in pts],
+                        [float(r["accuracy"]) for r in pts], "o-",
+                        label=f"n={n}%")
+            ax.axhline(float(sel[0]["ideal"]), ls="--", c="gray")
+            ax.set_xlabel("m (% new cells/epoch)")
+            ax.set_ylabel("accuracy")
+            ax.set_title(model)
+            ax.legend(fontsize=8)
+        save(fig, "fig7.png")
+
+    # Fig. 8: scalability bars.
+    p = os.path.join(csv_dir, "fig8_scalability.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(8, 3.5))
+        labels = [f'{r["dataset"]}\n{r["model"]}' for r in rows]
+        x = range(len(rows))
+        w = 0.27
+        for i, key in enumerate(("ideal", "none", "remap_d")):
+            ax.bar([xi + (i - 1) * w for xi in x],
+                   [float(r[key]) for r in rows], w, label=key)
+        ax.set_xticks(list(x), labels, fontsize=7)
+        ax.set_ylabel("test accuracy")
+        ax.legend()
+        ax.set_title("Fig. 8: scalability (harder datasets)")
+        save(fig, "fig8.png")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Build, test, and regenerate every figure/table of the paper.
+# Usage: scripts/run_all.sh [build_dir]
+set -e
+BUILD=${1:-build}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output.txt
+
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  case "$b" in *.cmake) continue ;; esac
+  echo "===== $(basename "$b") ====="
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+# Optional: PNG plots from the bench CSVs (needs matplotlib).
+python3 "$(dirname "$0")/plot_results.py" . . || true

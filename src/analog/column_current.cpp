@@ -1,0 +1,56 @@
+#include "analog/column_current.hpp"
+
+namespace remapd {
+namespace {
+
+double healthy_resistance(const CellParams& p, TestPattern pattern) {
+  return pattern == TestPattern::kAllZero ? p.r_off : p.r_on;
+}
+
+}  // namespace
+
+double column_current(const Crossbar& xb, std::size_t col,
+                      TestPattern pattern) {
+  // A stuck cell ignores writes entirely: it contributes its stuck
+  // resistance under *both* test patterns. SA0 cells (0.8-3 MΩ) are nearly
+  // indistinguishable from a healthy R_off cell in the all-zero read, and
+  // SA1 cells (1.5-3 kΩ) conduct even more than a healthy R_on cell in the
+  // all-one read — the calibration clamps such excess to a zero SA0 count.
+  const CellParams& p = xb.params();
+  const double r_healthy = healthy_resistance(p, pattern);
+  double conductance = 0.0;
+  for (std::size_t r = 0; r < xb.rows(); ++r) {
+    const CellFault f = xb.fault_at(r, col);
+    if (f != CellFault::kNone)
+      conductance += 1.0 / xb.stuck_resistance_at(r, col);
+    else
+      conductance += 1.0 / r_healthy;
+  }
+  return p.read_voltage * conductance;
+}
+
+std::vector<double> all_column_currents(const Crossbar& xb,
+                                        TestPattern pattern) {
+  std::vector<double> out;
+  out.reserve(xb.cols());
+  for (std::size_t c = 0; c < xb.cols(); ++c)
+    out.push_back(column_current(xb, c, pattern));
+  return out;
+}
+
+double fault_free_column_current(const CellParams& p, std::size_t rows,
+                                 TestPattern pattern) {
+  return p.read_voltage * static_cast<double>(rows) /
+         healthy_resistance(p, pattern);
+}
+
+double synthetic_column_current(const CellParams& p, std::size_t rows,
+                                std::size_t faults, double stuck_r,
+                                TestPattern pattern) {
+  const double r_healthy = healthy_resistance(p, pattern);
+  const double g = static_cast<double>(rows - faults) / r_healthy +
+                   static_cast<double>(faults) / stuck_r;
+  return p.read_voltage * g;
+}
+
+}  // namespace remapd

@@ -1,0 +1,45 @@
+// Resistor-network model of a crossbar column during a BIST read — the
+// HSpice substitute behind Fig. 4.
+//
+// During the SA1 test, every cell has been written to logic "0" (R_off);
+// during the SA0 test, to logic "1" (R_on). A read voltage V is applied to
+// all rows simultaneously and the column output is the Kirchhoff sum of the
+// per-cell currents I = Σ V / R_i, where faulty cells contribute their
+// stuck resistance (sampled within the variation bands of [4]). Sneak-path
+// and wire resistance effects are second-order at BIST's
+// all-rows-driven-equally condition and are not modelled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace remapd {
+
+/// Which BIST pattern is applied to the array.
+enum class TestPattern : std::uint8_t {
+  kAllZero,  ///< SA1 test: healthy cells at R_off
+  kAllOne,   ///< SA0 test: healthy cells at R_on
+};
+
+/// Current (A) of column `col` of `xb` under `pattern` at the cell
+/// parameters' read voltage.
+double column_current(const Crossbar& xb, std::size_t col,
+                      TestPattern pattern);
+
+/// All column currents of a crossbar under a pattern.
+std::vector<double> all_column_currents(const Crossbar& xb,
+                                        TestPattern pattern);
+
+/// Ideal (fault-free) column current for an array with `rows` cells.
+double fault_free_column_current(const CellParams& p, std::size_t rows,
+                                 TestPattern pattern);
+
+/// Current of a synthetic column with `rows` cells of which `faults` are
+/// stuck at `stuck_r` ohms — the sweep primitive behind Fig. 4.
+double synthetic_column_current(const CellParams& p, std::size_t rows,
+                                std::size_t faults, double stuck_r,
+                                TestPattern pattern);
+
+}  // namespace remapd

@@ -1,0 +1,54 @@
+#include "area/area_model.hpp"
+
+namespace remapd {
+
+double AreaBreakdown::total_without_bist() const {
+  return crossbars + dacs + adcs + sample_holds + shift_adds + registers +
+         edram + routers + func_units;
+}
+
+double AreaBreakdown::bist_overhead_percent() const {
+  const double base = total_without_bist();
+  return base > 0.0 ? 100.0 * bist / base : 0.0;
+}
+
+AreaBreakdown RcsAreaModel::compute() const {
+  const auto& a = cfg_.areas;
+  const double xbars =
+      static_cast<double>(cfg_.xbars_per_ima * cfg_.imas_per_tile *
+                          cfg_.num_tiles);
+  const double imas =
+      static_cast<double>(cfg_.imas_per_tile * cfg_.num_tiles);
+  const double tiles = static_cast<double>(cfg_.num_tiles);
+  const double cells = static_cast<double>(cfg_.xbar_rows * cfg_.xbar_cols);
+
+  AreaBreakdown b;
+  b.crossbars = xbars * cells * a.xbar_cell;
+  b.dacs = xbars * static_cast<double>(cfg_.xbar_rows) * a.dac_1bit;
+  b.adcs = xbars * a.adc_8bit;
+  b.sample_holds = xbars * static_cast<double>(cfg_.xbar_cols) * a.sample_hold;
+  b.shift_adds = xbars * a.shift_add;
+  b.registers = xbars *
+                static_cast<double>((cfg_.xbar_rows + cfg_.xbar_cols) * 16) *
+                a.register_bit;
+  b.edram = tiles * static_cast<double>(cfg_.edram_kb_per_tile) *
+            a.edram_per_kb;
+  b.routers = tiles * a.router;
+  b.func_units = tiles * a.func_units;
+  // One BIST module per IMA (§III.B.3).
+  b.bist = imas * static_cast<double>(cfg_.bist.total_gates()) * a.nand2_gate;
+  return b;
+}
+
+std::vector<std::pair<std::string, double>> RcsAreaModel::report() const {
+  const AreaBreakdown b = compute();
+  return {
+      {"crossbars", b.crossbars},   {"dacs", b.dacs},
+      {"adcs", b.adcs},             {"sample_holds", b.sample_holds},
+      {"shift_adds", b.shift_adds}, {"registers", b.registers},
+      {"edram", b.edram},           {"routers", b.routers},
+      {"func_units", b.func_units}, {"bist", b.bist},
+  };
+}
+
+}  // namespace remapd

@@ -1,0 +1,61 @@
+#include "area/energy_model.hpp"
+
+namespace remapd {
+
+EnergyBreakdown RcsEnergyModel::epoch_energy(const EpochWorkload& w,
+                                             std::size_t num_crossbars,
+                                             std::size_t bist_cycles) const {
+  EnergyBreakdown b;
+  const auto cells = static_cast<double>(w.xbar_rows * w.xbar_cols);
+  const auto mvms = static_cast<double>(w.mvm_ops);
+  // One MVM drives every row DAC, integrates through the array, samples
+  // every column, converts (shared ADC, column-serialized), and reduces.
+  b.compute_pj = mvms * (cells * e_.xbar_mvm_per_cell +
+                         static_cast<double>(w.xbar_rows) * e_.dac_conversion +
+                         static_cast<double>(w.xbar_cols) *
+                             (e_.sh_sample + e_.adc_conversion) +
+                         e_.shift_add_op * static_cast<double>(w.xbar_cols));
+  b.write_pj = static_cast<double>(w.weight_writes) * cells *
+               e_.xbar_write_per_cell;
+  b.traffic_pj = static_cast<double>(w.noc_flit_hops) *
+                 (e_.router_per_flit + e_.link_per_flit_hop);
+  b.buffer_pj = static_cast<double>(w.edram_bits) * e_.edram_access_per_bit;
+  b.bist_pj = static_cast<double>(num_crossbars) *
+              static_cast<double>(bist_cycles) * e_.bist_cycle;
+  return b;
+}
+
+double RcsEnergyModel::remap_energy_pj(std::size_t flit_hops,
+                                       std::size_t weight_cells) const {
+  return static_cast<double>(flit_hops) *
+             (e_.router_per_flit + e_.link_per_flit_hop) +
+         static_cast<double>(weight_cells) * e_.xbar_write_per_cell;
+}
+
+double RcsEnergyModel::remap_overhead_percent(const EnergyBreakdown& epoch,
+                                              double remap_pj) const {
+  const double total = epoch.total_pj();
+  return total > 0.0 ? 100.0 * remap_pj / total : 0.0;
+}
+
+EpochWorkload canonical_epoch_workload(std::size_t num_tasks,
+                                       std::size_t images_per_epoch,
+                                       std::size_t batches_per_epoch,
+                                       std::size_t xbar_rows,
+                                       std::size_t xbar_cols) {
+  EpochWorkload w;
+  w.xbar_rows = xbar_rows;
+  w.xbar_cols = xbar_cols;
+  // Each mapped task executes one MVM per image (forward or backward).
+  w.mvm_ops = num_tasks * images_per_epoch;
+  // Each task's array is rewritten once per batch (weight update).
+  w.weight_writes = num_tasks * batches_per_epoch;
+  // Every MVM output crosses the NoC once, ~2 hops average, 16-bit values
+  // over 64-bit flits.
+  w.noc_flit_hops = w.mvm_ops * (xbar_cols * 16 / 64) * 2;
+  // Activations buffered in eDRAM on write + read.
+  w.edram_bits = w.mvm_ops * xbar_cols * 16 * 2;
+  return w;
+}
+
+}  // namespace remapd

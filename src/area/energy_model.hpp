@@ -1,0 +1,85 @@
+// Energy/power companion to the area model. Per-event energies follow the
+// ISAAC/NeuroSim component family; the model answers the paper's final
+// power claim — the remapping traffic adds "less than 0.5 % power overhead"
+// — by comparing the remap round's energy against one training epoch's
+// compute + on-chip traffic energy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace remapd {
+
+/// Per-event energies in picojoules.
+struct ComponentEnergies {
+  double xbar_mvm_per_cell = 0.0008;  ///< analog MAC through one cell
+  double xbar_write_per_cell = 1.1;   ///< SET/RESET pulse
+  double dac_conversion = 0.4;        ///< per row, per MVM
+  double adc_conversion = 2.0;        ///< 8-bit sample
+  double sh_sample = 0.01;
+  double shift_add_op = 0.2;
+  double edram_access_per_bit = 0.05;
+  double router_per_flit = 5.0;       ///< buffer+crossbar+arbitration
+  double link_per_flit_hop = 2.0;     ///< inter-router wire
+  double bist_cycle = 0.6;            ///< FSM + counter + comparator
+};
+
+/// Workload description of one training epoch on the RCS.
+struct EpochWorkload {
+  std::size_t mvm_ops = 0;           ///< crossbar MVM invocations
+  std::size_t xbar_rows = 128;
+  std::size_t xbar_cols = 128;
+  std::size_t weight_writes = 0;     ///< full-array weight-update writes
+  std::size_t noc_flit_hops = 0;     ///< training traffic volume
+  std::size_t edram_bits = 0;        ///< activation buffering
+};
+
+struct EnergyBreakdown {
+  double compute_pj = 0.0;   ///< MVMs incl. DAC/ADC/S&H/S&A
+  double write_pj = 0.0;     ///< weight updates
+  double traffic_pj = 0.0;   ///< NoC routers + links
+  double buffer_pj = 0.0;    ///< eDRAM
+  double bist_pj = 0.0;      ///< per-epoch BIST pass
+
+  [[nodiscard]] double total_pj() const {
+    return compute_pj + write_pj + traffic_pj + buffer_pj + bist_pj;
+  }
+};
+
+class RcsEnergyModel {
+ public:
+  explicit RcsEnergyModel(ComponentEnergies energies = {})
+      : e_(energies) {}
+
+  /// Energy of one training epoch under `workload`, including the per-epoch
+  /// BIST pass over `num_crossbars` arrays (`bist_cycles` each).
+  [[nodiscard]] EnergyBreakdown epoch_energy(const EpochWorkload& workload,
+                                             std::size_t num_crossbars,
+                                             std::size_t bist_cycles) const;
+
+  /// Energy of one remap round: `flit_hops` of request/response/transfer
+  /// traffic plus rewriting the exchanged weight arrays.
+  [[nodiscard]] double remap_energy_pj(std::size_t flit_hops,
+                                       std::size_t weight_cells) const;
+
+  /// Remap power overhead in percent against the epoch total.
+  [[nodiscard]] double remap_overhead_percent(
+      const EnergyBreakdown& epoch, double remap_pj) const;
+
+  [[nodiscard]] const ComponentEnergies& energies() const { return e_; }
+
+ private:
+  ComponentEnergies e_;
+};
+
+/// Canonical epoch workload for a mapped model: every task performs one MVM
+/// per image and one weight write per batch; traffic scales with activation
+/// volume. Sized to the paper's full-system evaluation scale.
+EpochWorkload canonical_epoch_workload(std::size_t num_tasks,
+                                       std::size_t images_per_epoch,
+                                       std::size_t batches_per_epoch,
+                                       std::size_t xbar_rows,
+                                       std::size_t xbar_cols);
+
+}  // namespace remapd

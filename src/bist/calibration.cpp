@@ -1,0 +1,46 @@
+#include "bist/calibration.hpp"
+
+#include <cmath>
+
+namespace remapd {
+namespace {
+
+double healthy_conductance(const CellParams& p, TestPattern pattern) {
+  return pattern == TestPattern::kAllZero ? 1.0 / p.r_off : 1.0 / p.r_on;
+}
+
+double stuck_conductance(const CellParams& p, TestPattern pattern) {
+  // kAllZero exposes SA1 (stuck low-R); kAllOne exposes SA0 (stuck high-R).
+  const CellFault f = pattern == TestPattern::kAllZero
+                          ? CellFault::kStuckAt1
+                          : CellFault::kStuckAt0;
+  return 1.0 / p.nominal_stuck_resistance(f);
+}
+
+}  // namespace
+
+BistCalibration::BistCalibration(const CellParams& params, std::size_t rows)
+    : params_(params), rows_(rows) {}
+
+double BistCalibration::expected_current(std::size_t k,
+                                         TestPattern pattern) const {
+  const double gh = healthy_conductance(params_, pattern);
+  const double gs = stuck_conductance(params_, pattern);
+  return params_.read_voltage *
+         (static_cast<double>(rows_ - k) * gh + static_cast<double>(k) * gs);
+}
+
+std::size_t BistCalibration::estimate_fault_count(double current,
+                                                  TestPattern pattern) const {
+  const double gh = healthy_conductance(params_, pattern);
+  const double gs = stuck_conductance(params_, pattern);
+  const double baseline =
+      params_.read_voltage * static_cast<double>(rows_) * gh;
+  const double per_fault_step = params_.read_voltage * (gs - gh);
+  const double k = (current - baseline) / per_fault_step;
+  if (k <= 0.0) return 0;
+  const auto rounded = static_cast<std::size_t>(std::llround(k));
+  return rounded > rows_ ? rows_ : rounded;
+}
+
+}  // namespace remapd

@@ -1,0 +1,35 @@
+// BIST calibration: inverts the column-current model to a fault count.
+//
+// The BIST peripherals compare the measured column current against a
+// calibration table built from nominal stuck resistances (§IV.B: "through a
+// calibration step, we can determine the number of faulty cells ... by
+// observing the output current"). The estimate is robust to the stuck-R
+// variation bands of [4] because the per-fault current step is large
+// compared to the variation-induced spread (Fig. 4).
+#pragma once
+
+#include "analog/column_current.hpp"
+
+namespace remapd {
+
+class BistCalibration {
+ public:
+  /// Calibrate for arrays with `rows` cells per column.
+  BistCalibration(const CellParams& params, std::size_t rows);
+
+  /// Estimated number of faults in a column from its measured current.
+  /// `pattern` selects which fault type the test exposes (kAllZero -> SA1,
+  /// kAllOne -> SA0). Clamped to [0, rows].
+  [[nodiscard]] std::size_t estimate_fault_count(double current,
+                                                 TestPattern pattern) const;
+
+  /// Expected current for exactly `k` faults at nominal stuck resistance.
+  [[nodiscard]] double expected_current(std::size_t k,
+                                        TestPattern pattern) const;
+
+ private:
+  CellParams params_;
+  std::size_t rows_;
+};
+
+}  // namespace remapd

@@ -1,0 +1,62 @@
+#include "bist/controller.hpp"
+
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+
+BistReport BistController::run(Crossbar& xb) const {
+  BistFsm fsm(xb.rows());
+  BistCalibration cal(xb.params(), xb.rows());
+  BistReport report;
+
+  fsm.start();
+  while (!fsm.finished()) {
+    const BistState worked = fsm.step();
+    switch (worked) {
+      case BistState::kS2ReadSa1: {
+        // All columns are read in parallel (one ReRAM cycle); the counts
+        // are latched for the processing state.
+        std::size_t total = 0;
+        for (double i : all_column_currents(xb, TestPattern::kAllZero))
+          total += cal.estimate_fault_count(i, TestPattern::kAllZero);
+        report.sa1_estimate = total;
+        break;
+      }
+      case BistState::kS5ReadSa0: {
+        std::size_t total = 0;
+        for (double i : all_column_currents(xb, TestPattern::kAllOne))
+          total += cal.estimate_fault_count(i, TestPattern::kAllOne);
+        report.sa0_estimate = total;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // The two full-array write passes (S1, S4) count toward endurance.
+  xb.record_array_write();
+  xb.record_array_write();
+
+  report.cycles = fsm.cycles_elapsed();
+  report.elapsed_ns = static_cast<double>(report.cycles) * kReramCycleNs;
+  report.density_estimate = static_cast<double>(report.total_estimate()) /
+                            static_cast<double>(xb.cell_count());
+  return report;
+}
+
+std::vector<double> BistController::survey(Rcs& rcs,
+                                           std::uint64_t* total_cycles) const {
+  std::vector<double> densities;
+  densities.reserve(rcs.total_crossbars());
+  std::uint64_t cycles = 0;
+  for (XbarId id = 0; id < rcs.total_crossbars(); ++id) {
+    const BistReport r = run(rcs.crossbar(id));
+    densities.push_back(r.density_estimate);
+    cycles = std::max(cycles, r.cycles);  // IMAs test concurrently
+  }
+  if (total_cycles) *total_cycles = cycles;
+  return densities;
+}
+
+}  // namespace remapd

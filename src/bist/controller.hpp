@@ -1,0 +1,39 @@
+// BIST controller: drives the FSM over a crossbar, samples the analog
+// column currents at the read states, and produces the per-crossbar fault
+// density report the remapping policies consume.
+//
+// Only the *density* is reported — not per-cell locations — which is what
+// makes this BIST cheaper than conventional march-test BIST (§III.B.3).
+#pragma once
+
+#include "bist/calibration.hpp"
+#include "bist/fsm.hpp"
+
+namespace remapd {
+
+struct BistReport {
+  std::size_t sa1_estimate = 0;   ///< estimated SA1 fault count
+  std::size_t sa0_estimate = 0;   ///< estimated SA0 fault count
+  double density_estimate = 0.0;  ///< (sa0+sa1) / cells
+  std::uint64_t cycles = 0;       ///< ReRAM cycles consumed
+  double elapsed_ns = 0.0;
+
+  [[nodiscard]] std::size_t total_estimate() const {
+    return sa1_estimate + sa0_estimate;
+  }
+};
+
+class BistController {
+ public:
+  /// Run the full S1..S6 sequence on `xb`. Accounts the two write passes
+  /// toward the crossbar's endurance counters.
+  BistReport run(Crossbar& xb) const;
+
+  /// Run BIST over every crossbar of an RCS; returns densities by XbarId.
+  /// `total_cycles` (optional out) receives the cycles of one crossbar's
+  /// test — all IMAs test in parallel, so this is also the RCS-wide cost.
+  std::vector<double> survey(class Rcs& rcs,
+                             std::uint64_t* total_cycles = nullptr) const;
+};
+
+}  // namespace remapd

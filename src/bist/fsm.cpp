@@ -1,0 +1,66 @@
+#include "bist/fsm.hpp"
+
+namespace remapd {
+
+const char* bist_state_name(BistState s) {
+  switch (s) {
+    case BistState::kS0Idle: return "S0:idle";
+    case BistState::kS1WriteZero: return "S1:wr-zero";
+    case BistState::kS2ReadSa1: return "S2:rd-sa1";
+    case BistState::kS3ProcessSa1: return "S3:proc-sa1";
+    case BistState::kS4WriteOne: return "S4:wr-one";
+    case BistState::kS5ReadSa0: return "S5:rd-sa0";
+    case BistState::kS6ProcessSa0: return "S6:proc-sa0";
+  }
+  return "?";
+}
+
+void BistFsm::start() {
+  // The start signal moves the controller out of idle combinationally; the
+  // first clocked cycle performs the first row write.
+  state_ = BistState::kS1WriteZero;
+  counter_ = 0;
+  cycles_ = 0;
+  running_ = true;
+  finish_flag_ = false;
+}
+
+BistState BistFsm::step() {
+  if (!running_) return state_;
+  ++cycles_;
+  const BistState worked = state_;  // state doing work during this cycle
+
+  switch (state_) {
+    case BistState::kS0Idle:
+      break;
+    case BistState::kS1WriteZero:
+      if (++counter_ >= rows_) {
+        state_ = BistState::kS2ReadSa1;
+        counter_ = 0;
+      }
+      break;
+    case BistState::kS2ReadSa1:
+      state_ = BistState::kS3ProcessSa1;
+      break;
+    case BistState::kS3ProcessSa1:
+      state_ = BistState::kS4WriteOne;
+      break;
+    case BistState::kS4WriteOne:
+      if (++counter_ >= rows_) {
+        state_ = BistState::kS5ReadSa0;
+        counter_ = 0;
+      }
+      break;
+    case BistState::kS5ReadSa0:
+      state_ = BistState::kS6ProcessSa0;
+      break;
+    case BistState::kS6ProcessSa0:
+      state_ = BistState::kS0Idle;
+      running_ = false;
+      finish_flag_ = true;
+      break;
+  }
+  return worked;
+}
+
+}  // namespace remapd

@@ -1,0 +1,64 @@
+// Cycle-accurate model of the BIST controller FSM of Fig. 2(b).
+//
+// States: S0 idle; S1/S2/S3 SA1 test (write all-0 row-by-row, apply read
+// voltage, process outputs); S4/S5/S6 SA0 test (write all-1, read, process).
+// Row-by-row writes take one ReRAM cycle per row [18], the read and the
+// CMOS output processing one ReRAM cycle each, so a 128x128 array costs
+// 130 + 130 = 260 ReRAM cycles (one ReRAM cycle = 100 ns at the 10 MHz
+// array clock; the 1.2 GHz CMOS peripherals finish within it [13], [18]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace remapd {
+
+enum class BistState : std::uint8_t {
+  kS0Idle = 0,
+  kS1WriteZero,
+  kS2ReadSa1,
+  kS3ProcessSa1,
+  kS4WriteOne,
+  kS5ReadSa0,
+  kS6ProcessSa0,
+};
+
+const char* bist_state_name(BistState s);
+
+/// One ReRAM cycle is 100 ns (10 MHz array clock [13], [18]).
+constexpr double kReramCycleNs = 100.0;
+
+class BistFsm {
+ public:
+  /// `rows` is the crossbar row count (write pass length).
+  explicit BistFsm(std::size_t rows) : rows_(rows) {}
+
+  /// Start a test run (combinational S0 -> S1 on the start signal).
+  void start();
+
+  /// Advance one ReRAM cycle. Returns the state that performed work during
+  /// this cycle.
+  BistState step();
+
+  [[nodiscard]] BistState state() const { return state_; }
+  [[nodiscard]] bool finished() const { return finish_flag_; }
+  [[nodiscard]] std::uint64_t cycles_elapsed() const { return cycles_; }
+  /// Counter output 'c' controlling the row-by-row write timing.
+  [[nodiscard]] std::size_t counter() const { return counter_; }
+
+  /// Total cycles of a complete run for an array with `rows` rows:
+  /// 2 * (rows + 2).
+  [[nodiscard]] static std::uint64_t total_cycles(std::size_t rows) {
+    return 2 * (static_cast<std::uint64_t>(rows) + 2);
+  }
+
+ private:
+  std::size_t rows_;
+  BistState state_ = BistState::kS0Idle;
+  std::size_t counter_ = 0;
+  std::uint64_t cycles_ = 0;
+  bool running_ = false;
+  bool finish_flag_ = false;
+};
+
+}  // namespace remapd

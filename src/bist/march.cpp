@@ -1,0 +1,81 @@
+#include "bist/march.hpp"
+
+namespace remapd {
+namespace {
+
+/// Simulated cell storage under faults: writes to a stuck cell are lost,
+/// reads return the stuck logic value.
+class CellArray {
+ public:
+  explicit CellArray(const Crossbar& xb) : xb_(xb),
+      stored_(xb.rows() * xb.cols(), false) {}
+
+  void write(std::size_t r, std::size_t c, bool v) {
+    if (xb_.fault_at(r, c) == CellFault::kNone)
+      stored_[r * xb_.cols() + c] = v;
+  }
+
+  [[nodiscard]] bool read(std::size_t r, std::size_t c) const {
+    switch (xb_.fault_at(r, c)) {
+      case CellFault::kStuckAt0: return false;
+      case CellFault::kStuckAt1: return true;
+      case CellFault::kNone: break;
+    }
+    return stored_[r * xb_.cols() + c];
+  }
+
+ private:
+  const Crossbar& xb_;
+  std::vector<bool> stored_;
+};
+
+}  // namespace
+
+MarchResult march_c_minus(const Crossbar& xb) {
+  MarchResult res;
+  CellArray mem(xb);
+  const std::size_t rows = xb.rows(), cols = xb.cols();
+  std::vector<bool> flagged(rows * cols, false);
+
+  auto flag = [&](std::size_t r, std::size_t c, bool read_value,
+                  bool expected) {
+    if (read_value == expected) return;
+    if (flagged[r * cols + c]) return;
+    flagged[r * cols + c] = true;
+    // A cell that reads 1 where 0 was written is stuck-at-1 and vice versa.
+    res.faults.push_back(MarchFault{
+        r, c, read_value ? CellFault::kStuckAt1 : CellFault::kStuckAt0});
+  };
+
+  // Element-wise ascending/descending sweeps. `up` selects address order
+  // (irrelevant for stuck-at detection, kept for fidelity to the
+  // algorithm's coupling-fault coverage).
+  auto sweep = [&](bool up, bool read_first, bool expected, bool write_after,
+                   bool write_value) {
+    for (std::size_t i = 0; i < rows * cols; ++i) {
+      const std::size_t idx = up ? i : rows * cols - 1 - i;
+      const std::size_t r = idx / cols, c = idx % cols;
+      if (read_first) {
+        flag(r, c, mem.read(r, c), expected);
+        ++res.reads;
+        ++res.cycles;
+      }
+      if (write_after) {
+        mem.write(r, c, write_value);
+        ++res.writes;
+        ++res.cycles;
+      }
+    }
+  };
+
+  sweep(true, false, false, true, false);   // ⇕(w0)
+  sweep(true, true, false, true, true);     // ⇑(r0, w1)
+  sweep(true, true, true, true, false);     // ⇑(r1, w0)
+  sweep(false, true, false, true, true);    // ⇓(r0, w1)
+  sweep(false, true, true, true, false);    // ⇓(r1, w0)
+  sweep(false, true, false, false, false);  // ⇕(r0)
+
+  return res;
+}
+
+}  // namespace remapd

@@ -1,0 +1,42 @@
+// March C- memory test — the conventional fault-detection baseline the
+// paper contrasts its density-only BIST against (§II: March tests "detect
+// pre-deployment faults but introduce high overhead for detecting
+// post-deployment faults").
+//
+// March C-: {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)} —
+// 10 operations per cell, each one ReRAM cycle (per-cell addressing is what
+// buys exact fault locations and types). A 128x128 array costs 163,840
+// cycles versus the 260 cycles of the density BIST.
+#pragma once
+
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace remapd {
+
+/// One located fault found by the march.
+struct MarchFault {
+  std::size_t row, col;
+  CellFault type;
+};
+
+struct MarchResult {
+  std::vector<MarchFault> faults;     ///< exact locations and types
+  std::uint64_t cycles = 0;           ///< ReRAM cycles consumed
+  std::size_t reads = 0, writes = 0;  ///< operation counts
+
+  [[nodiscard]] std::size_t fault_count() const { return faults.size(); }
+};
+
+/// Run March C- over a crossbar. Detects every stuck-at fault with its
+/// location and type (unlike the density BIST, which reports only counts).
+MarchResult march_c_minus(const Crossbar& xb);
+
+/// Cycle cost of March C- for an array of `cells` cells: 10 ops/cell.
+[[nodiscard]] constexpr std::uint64_t march_c_minus_cycles(
+    std::size_t cells) {
+  return 10ULL * cells;
+}
+
+}  // namespace remapd

@@ -1,0 +1,34 @@
+#include "core/fault_density_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace remapd {
+
+void FaultDensityMap::update(std::vector<double> estimates) {
+  if (estimates.size() != density_.size())
+    throw std::invalid_argument("FaultDensityMap::update: size mismatch");
+  density_ = std::move(estimates);
+  ++surveys_;
+}
+
+double FaultDensityMap::mean() const {
+  if (density_.empty()) return 0.0;
+  double s = 0.0;
+  for (double d : density_) s += d;
+  return s / static_cast<double>(density_.size());
+}
+
+double FaultDensityMap::max() const {
+  if (density_.empty()) return 0.0;
+  return *std::max_element(density_.begin(), density_.end());
+}
+
+std::vector<std::size_t> FaultDensityMap::above(double threshold) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < density_.size(); ++i)
+    if (density_[i] > threshold) out.push_back(i);
+  return out;
+}
+
+}  // namespace remapd

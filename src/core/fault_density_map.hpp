@@ -1,0 +1,44 @@
+// FaultDensityMap: the RCS-wide view of per-crossbar fault densities as
+// *measured by BIST* (estimates, not ground truth — the remap policies only
+// ever see what the hardware can observe).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace remapd {
+
+class FaultDensityMap {
+ public:
+  FaultDensityMap() = default;
+  explicit FaultDensityMap(std::size_t num_crossbars)
+      : density_(num_crossbars, 0.0) {}
+
+  /// Re-dimension (zeroing) for a new RCS.
+  void reset(std::size_t num_crossbars) {
+    density_.assign(num_crossbars, 0.0);
+    surveys_ = 0;
+  }
+
+  /// Replace the map with a fresh BIST survey.
+  void update(std::vector<double> estimates);
+
+  [[nodiscard]] double density(std::size_t xbar) const {
+    return density_.at(xbar);
+  }
+  [[nodiscard]] const std::vector<double>& all() const { return density_; }
+  [[nodiscard]] std::size_t size() const { return density_.size(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+  /// Crossbars with density strictly above a threshold.
+  [[nodiscard]] std::vector<std::size_t> above(double threshold) const;
+  /// Number of surveys applied so far.
+  [[nodiscard]] std::size_t surveys() const { return surveys_; }
+
+ private:
+  std::vector<double> density_;
+  std::size_t surveys_ = 0;
+};
+
+}  // namespace remapd

@@ -1,0 +1,91 @@
+#include "core/remap_d.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace remapd {
+
+void RemapD::on_epoch_end(PolicyContext& ctx) {
+  clear_events();
+  WeightMapper& mapper = *ctx.mapper;
+  const FaultDensityMap& density = *ctx.density;
+
+  // Step 1: senders — high-density crossbars running critical tasks,
+  // worst first so the most endangered task gets first pick.
+  std::vector<XbarId> senders;
+  for (XbarId x = 0; x < density.size(); ++x) {
+    const TaskId t = mapper.task_on(x);
+    if (t == kNoTask) continue;
+    if (!is_critical(mapper.task(t).phase)) continue;
+    if (density.density(x) > cfg_.density_threshold) senders.push_back(x);
+  }
+  std::sort(senders.begin(), senders.end(), [&](XbarId a, XbarId b) {
+    return density.density(a) > density.density(b);
+  });
+
+  // Step 2+3: for each sender, gather responders and take the nearest.
+  std::vector<bool> taken(density.size(), false);
+  for (XbarId s : senders) {
+    const double s_density = density.density(s);
+    XbarId best = kNoTask;
+    std::size_t best_hops = std::numeric_limits<std::size_t>::max();
+    double best_density = std::numeric_limits<double>::max();
+
+    for (XbarId r = 0; r < density.size(); ++r) {
+      if (r == s || taken[r]) continue;
+      if (density.density(r) + cfg_.min_improvement >= s_density) continue;
+      const TaskId rt = mapper.task_on(r);
+      if (rt != kNoTask && !can_receive(mapper.task(rt).phase)) continue;
+
+      const std::size_t hops = mapper.hop_distance(s, r);
+      if (hops < best_hops ||
+          (hops == best_hops && density.density(r) < best_density)) {
+        best = r;
+        best_hops = hops;
+        best_density = density.density(r);
+      }
+    }
+    if (best == kNoTask) continue;  // no eligible receiver this round
+
+    mapper.swap_tasks(mapper.task_on(s), best);
+    taken[best] = true;
+    taken[s] = true;
+    record_event(s, best);
+  }
+
+  // Secondary pass: quarantine crossbars so degraded that even forward
+  // tasks suffer, by evacuating them to idle crossbars (no task is
+  // displaced onto the hot array).
+  if (cfg_.forward_rescue_threshold > 0.0) {
+    for (XbarId s = 0; s < density.size(); ++s) {
+      if (taken[s]) continue;
+      const TaskId t = mapper.task_on(s);
+      if (t == kNoTask || is_critical(mapper.task(t).phase)) continue;
+      const double s_density = density.density(s);
+      if (s_density <= cfg_.forward_rescue_threshold) continue;
+
+      XbarId best = kNoTask;
+      std::size_t best_hops = std::numeric_limits<std::size_t>::max();
+      double best_density = std::numeric_limits<double>::max();
+      for (XbarId r = 0; r < density.size(); ++r) {
+        if (r == s || taken[r]) continue;
+        if (mapper.task_on(r) != kNoTask) continue;  // idle receivers only
+        if (density.density(r) + cfg_.min_improvement >= s_density) continue;
+        const std::size_t hops = mapper.hop_distance(s, r);
+        if (hops < best_hops ||
+            (hops == best_hops && density.density(r) < best_density)) {
+          best = r;
+          best_hops = hops;
+          best_density = density.density(r);
+        }
+      }
+      if (best == kNoTask) continue;
+      mapper.swap_tasks(t, best);
+      taken[best] = true;
+      taken[s] = true;
+      record_event(s, best);
+    }
+  }
+}
+
+}  // namespace remapd

@@ -1,0 +1,56 @@
+// Remap-D: the paper's dynamic task-remapping policy (§III.B.4, Fig. 3).
+//
+// At each epoch boundary (after the BIST survey):
+//  1. Every crossbar whose *estimated* fault density exceeds the threshold
+//     and whose task is fault-critical (backward phase) becomes a sender.
+//  2. Every crossbar whose density is lower than the sender's and whose
+//     task is more fault-tolerant (forward) — or which is idle — is a
+//     potential receiver; its tile responds to the broadcast request.
+//  3. Each sender picks the nearest responder by NoC hop count (ties broken
+//     by lower density); the two crossbars exchange their weights (tasks
+//     swap); a receiver serves at most one sender per round.
+//
+// No spare crossbars, no a-priori weight analysis, no NP-hard solver —
+// just density + criticality, which is the paper's whole point.
+#pragma once
+
+#include "core/remap_policy.hpp"
+
+namespace remapd {
+
+struct RemapDConfig {
+  /// Remap trigger: sender fault-density threshold (user-settable per the
+  /// application's accuracy requirement, §III.B.4). The default requests a
+  /// remap as soon as BIST can resolve any fault on a backward crossbar.
+  double density_threshold = 0.0005;
+  /// Safety margin: the receiver must be at least this much less dense.
+  double min_improvement = 0.0;
+  /// Secondary pass: forward tasks whose crossbar exceeds this (much
+  /// higher) density may evacuate to *idle* crossbars. Wear-out
+  /// concentrates on a few arrays; once such an array crosses the point
+  /// where even the fault-tolerant forward phase suffers, quarantining it
+  /// is the judicious move. Set <= 0 to disable (strict
+  /// backward-tasks-only protocol).
+  double forward_rescue_threshold = 0.01;
+};
+
+class RemapD final : public RemapPolicy {
+ public:
+  explicit RemapD(RemapDConfig cfg = RemapDConfig{}) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "remap-d"; }
+  /// The first BIST survey after deployment already drives a remap round,
+  /// exactly like every later epoch boundary.
+  void on_training_start(PolicyContext& ctx) override { on_epoch_end(ctx); }
+  void on_epoch_end(PolicyContext& ctx) override;
+  /// Only the BIST module: counted by the area model (~0.61 %), reported
+  /// there rather than as spare-hardware overhead.
+  [[nodiscard]] double area_overhead_percent() const override { return 0.0; }
+
+  [[nodiscard]] const RemapDConfig& config() const { return cfg_; }
+
+ private:
+  RemapDConfig cfg_;
+};
+
+}  // namespace remapd

@@ -1,0 +1,24 @@
+#include "core/remap_policy.hpp"
+
+#include <stdexcept>
+
+#include "core/baselines.hpp"
+#include "core/remap_d.hpp"
+#include "util/env.hpp"
+
+namespace remapd {
+
+PolicyPtr make_policy(const std::string& name) {
+  if (name == "remap-d") return std::make_unique<RemapD>();
+  if (name == "static") return std::make_unique<StaticMapping>();
+  if (name == "remap-ws") return std::make_unique<RemapWS>();
+  if (name == "remap-t-5") return std::make_unique<RemapTopN>(0.05);
+  if (name == "remap-t-10") return std::make_unique<RemapTopN>(0.10);
+  if (name == "an-code")
+    return std::make_unique<AnCodePolicy>(
+        env_double("REMAPD_ANCODE_CAP", 0.001));
+  if (name == "none") return std::make_unique<NoProtection>();
+  throw std::invalid_argument("make_policy: unknown policy " + name);
+}
+
+}  // namespace remapd

@@ -1,0 +1,96 @@
+// Fault-tolerance policy interface. The trainer drives every solution of
+// Fig. 6 through this interface:
+//
+//   remap-d     dynamic task remapping (the paper's contribution)
+//   static      fault-aware mapping once at t = 0
+//   remap-ws    weight-significance remap of [12] (top-5 % |w|, pretrained)
+//   remap-t-n%  preemptive remap of the top-n % weights by |gradient|
+//   an-code     AN-code ECC output correction [10]
+//   none        unprotected training
+//
+// A policy can act at two points: it may *re-assign tasks to crossbars*
+// (on_training_start / on_epoch_end, via the mapper), and it may *filter
+// the fault view* a layer receives (modelling correction or spare-hardware
+// absorption of individual faulty cells).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault_density_map.hpp"
+#include "core/task.hpp"
+#include "tensor/tensor.hpp"
+
+namespace remapd {
+
+/// Per-layer data some baselines need.
+struct LayerSnapshot {
+  const Tensor* initial_weights = nullptr;  ///< values at training start
+  const Tensor* grad_importance = nullptr;  ///< mean |grad| of last epoch
+};
+
+struct PolicyContext {
+  WeightMapper* mapper = nullptr;
+  const FaultDensityMap* density = nullptr;  ///< BIST estimates
+  std::vector<LayerSnapshot> layers;
+  std::size_t epoch = 0;
+  Rng* rng = nullptr;
+};
+
+/// A task swap executed by a policy (consumed by the NoC traffic model).
+struct RemapEvent {
+  XbarId sender_xbar;
+  XbarId receiver_xbar;
+};
+
+class RemapPolicy {
+ public:
+  virtual ~RemapPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once after pre-deployment fault injection, before epoch 0.
+  virtual void on_training_start(PolicyContext& ctx) { (void)ctx; }
+
+  /// Called at each epoch boundary, after the BIST survey.
+  virtual void on_epoch_end(PolicyContext& ctx) { (void)ctx; }
+
+  /// Transform the fault view a layer is about to receive. Default: no
+  /// filtering (all physical faults reach the arithmetic).
+  [[nodiscard]] virtual FaultView filter_view(std::size_t layer, Phase phase,
+                                              FaultView view,
+                                              const PolicyContext& ctx) {
+    (void)layer; (void)phase; (void)ctx;
+    return view;
+  }
+
+  /// Additional hardware area this solution needs, in percent of the RCS.
+  [[nodiscard]] virtual double area_overhead_percent() const { return 0.0; }
+
+  /// Task swaps performed by the most recent on_* call.
+  [[nodiscard]] const std::vector<RemapEvent>& last_events() const {
+    return events_;
+  }
+  /// Total swaps over the policy's lifetime.
+  [[nodiscard]] std::size_t total_remaps() const { return total_remaps_; }
+
+ protected:
+  void clear_events() { events_.clear(); }
+  void record_event(XbarId sender, XbarId receiver) {
+    events_.push_back(RemapEvent{sender, receiver});
+    ++total_remaps_;
+  }
+
+ private:
+  std::vector<RemapEvent> events_;
+  std::size_t total_remaps_ = 0;
+};
+
+using PolicyPtr = std::unique_ptr<RemapPolicy>;
+
+/// Factory for every policy of Fig. 6: "remap-d", "static", "remap-ws",
+/// "remap-t-5", "remap-t-10", "an-code", "none".
+PolicyPtr make_policy(const std::string& name);
+
+}  // namespace remapd

@@ -1,0 +1,10 @@
+#include "core/task.hpp"
+
+namespace remapd {
+
+static_assert(task_criticality(Phase::kBackward) >
+              task_criticality(Phase::kForward));
+static_assert(is_critical(Phase::kBackward) && !is_critical(Phase::kForward));
+static_assert(can_receive(Phase::kForward) && !can_receive(Phase::kBackward));
+
+}  // namespace remapd

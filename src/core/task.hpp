@@ -1,0 +1,32 @@
+// Task-level metadata for remapping decisions.
+//
+// "Task" is the paper's unit of remapping: the computations of one CNN
+// layer block executed on one crossbar. The paper's key empirical finding
+// (§III.B.2, Fig. 5) is that backward-phase tasks are consistently less
+// fault-tolerant than forward-phase tasks — faulty gradients compound over
+// weight updates while forward perturbations are visible to the loss and
+// trained around. Criticality encodes exactly that ordering; layer type and
+// position showed no consistent trend in the paper and are ignored.
+#pragma once
+
+#include "xbar/mapper.hpp"
+
+namespace remapd {
+
+/// Higher means less fault-tolerant (more deserving of a good crossbar).
+[[nodiscard]] constexpr double task_criticality(Phase phase) {
+  return phase == Phase::kBackward ? 1.0 : 0.0;
+}
+
+[[nodiscard]] constexpr bool is_critical(Phase phase) {
+  return phase == Phase::kBackward;
+}
+
+/// True when a task on `receiver_phase` may accept a swap from a critical
+/// sender: the receiving crossbar must currently run a more fault-tolerant
+/// task (forward) or be idle.
+[[nodiscard]] constexpr bool can_receive(Phase receiver_phase) {
+  return receiver_phase == Phase::kForward;
+}
+
+}  // namespace remapd

@@ -1,0 +1,41 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+
+Batcher::Batcher(const Dataset& data, std::size_t batch_size, Rng& rng)
+    : data_(data), batch_size_(batch_size), rng_(rng) {
+  if (batch_size_ == 0) throw std::invalid_argument("Batcher: batch_size 0");
+  order_.resize(data_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+}
+
+std::size_t Batcher::batches_per_epoch() const {
+  return (data_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void Batcher::start_epoch() { order_ = rng_.permutation(data_.size()); }
+
+Batch Batcher::get(std::size_t i) const {
+  const std::size_t begin = i * batch_size_;
+  if (begin >= data_.size()) throw std::out_of_range("Batcher::get");
+  const std::size_t end = std::min(begin + batch_size_, data_.size());
+  const std::size_t n = end - begin;
+
+  const Shape& s = data_.images.shape();
+  const std::size_t sample_elems = s[1] * s[2] * s[3];
+  Batch b;
+  b.images = Tensor(Shape{n, s[1], s[2], s[3]});
+  b.labels.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = order_[begin + k];
+    const float* from = data_.images.data() + src * sample_elems;
+    float* to = b.images.data() + k * sample_elems;
+    for (std::size_t e = 0; e < sample_elems; ++e) to[e] = from[e];
+    b.labels[k] = data_.labels[src];
+  }
+  return b;
+}
+
+}  // namespace remapd

@@ -1,0 +1,49 @@
+// In-memory labelled image dataset plus a shuffling mini-batch iterator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace remapd {
+
+struct Dataset {
+  Tensor images;  ///< {N, C, H, W}
+  std::vector<std::int32_t> labels;
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const {
+    return images.empty() ? 0 : images.shape()[0];
+  }
+};
+
+/// One mini-batch view (copies — batch sizes are small).
+struct Batch {
+  Tensor images;
+  std::vector<std::int32_t> labels;
+};
+
+/// Shuffling batcher: reshuffles sample order each epoch.
+class Batcher {
+ public:
+  Batcher(const Dataset& data, std::size_t batch_size, Rng& rng);
+
+  /// Number of batches per epoch (last partial batch included).
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+
+  /// Begin a new epoch (reshuffles).
+  void start_epoch();
+
+  /// Fetch batch `i` of the current epoch.
+  [[nodiscard]] Batch get(std::size_t i) const;
+
+ private:
+  const Dataset& data_;
+  std::size_t batch_size_;
+  Rng& rng_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace remapd

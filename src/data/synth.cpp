@@ -1,0 +1,240 @@
+#include "data/synth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace remapd {
+namespace {
+
+constexpr std::size_t kChannels = 3;
+
+// ------------------------------------------------------------- prototypes
+
+struct SinusoidComponent {
+  double fx, fy, phase, amp;
+};
+
+/// A class prototype: three sinusoid components per channel.
+struct Prototype {
+  SinusoidComponent comp[kChannels][3];
+};
+
+Prototype make_prototype(Rng& rng, double freq_lo, double freq_hi) {
+  Prototype p{};
+  for (std::size_t c = 0; c < kChannels; ++c)
+    for (int k = 0; k < 3; ++k) {
+      p.comp[c][k].fx = rng.uniform(freq_lo, freq_hi) *
+                        (rng.bernoulli(0.5) ? 1.0 : -1.0);
+      p.comp[c][k].fy = rng.uniform(freq_lo, freq_hi) *
+                        (rng.bernoulli(0.5) ? 1.0 : -1.0);
+      p.comp[c][k].phase = rng.uniform(0.0, 2.0 * 3.14159265358979);
+      p.comp[c][k].amp = rng.uniform(0.4, 1.0);
+    }
+  return p;
+}
+
+float proto_value(const Prototype& p, std::size_t c, double x, double y) {
+  double v = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    const auto& s = p.comp[c][k];
+    v += s.amp * std::sin(2.0 * 3.14159265358979 * (s.fx * x + s.fy * y) +
+                          s.phase);
+  }
+  return static_cast<float>(v / 3.0);
+}
+
+void render_sinusoid_sample(const Prototype& p, std::size_t size,
+                            double noise, Rng& rng, float* out) {
+  // Random cyclic shift (up to a quarter period) models the translation
+  // jitter of natural data while keeping the task learnable from a few
+  // hundred samples.
+  const double sx = rng.uniform(0.0, 0.25);
+  const double sy = rng.uniform(0.0, 0.25);
+  for (std::size_t c = 0; c < kChannels; ++c)
+    for (std::size_t y = 0; y < size; ++y)
+      for (std::size_t x = 0; x < size; ++x) {
+        const double u = static_cast<double>(x) / size + sx;
+        const double v = static_cast<double>(y) / size + sy;
+        out[(c * size + y) * size + x] =
+            proto_value(p, c, u, v) + static_cast<float>(rng.normal(0.0, noise));
+      }
+}
+
+// ---------------------------------------------------------------- digits
+
+// 5x7 glyph bitmaps for digits 0-9 (classic seven-row font).
+const char* kGlyphs[10] = {
+    "01110"
+    "10001"
+    "10011"
+    "10101"
+    "11001"
+    "10001"
+    "01110",  // 0
+    "00100"
+    "01100"
+    "00100"
+    "00100"
+    "00100"
+    "00100"
+    "01110",  // 1
+    "01110"
+    "10001"
+    "00001"
+    "00010"
+    "00100"
+    "01000"
+    "11111",  // 2
+    "11111"
+    "00010"
+    "00100"
+    "00010"
+    "00001"
+    "10001"
+    "01110",  // 3
+    "00010"
+    "00110"
+    "01010"
+    "10010"
+    "11111"
+    "00010"
+    "00010",  // 4
+    "11111"
+    "10000"
+    "11110"
+    "00001"
+    "00001"
+    "10001"
+    "01110",  // 5
+    "00110"
+    "01000"
+    "10000"
+    "11110"
+    "10001"
+    "10001"
+    "01110",  // 6
+    "11111"
+    "00001"
+    "00010"
+    "00100"
+    "01000"
+    "01000"
+    "01000",  // 7
+    "01110"
+    "10001"
+    "10001"
+    "01110"
+    "10001"
+    "10001"
+    "01110",  // 8
+    "01110"
+    "10001"
+    "10001"
+    "01111"
+    "00001"
+    "00010"
+    "01100",  // 9
+};
+
+void render_digit_sample(int digit, std::size_t size, double noise, Rng& rng,
+                         float* out) {
+  // Cluttered background: low-amplitude random blobs.
+  for (std::size_t i = 0; i < kChannels * size * size; ++i)
+    out[i] = static_cast<float>(rng.normal(0.0, 0.2));
+
+  // Place the glyph with random offset and per-sample contrast/colour.
+  // The glyph fills most of the frame (as SVHN's cropped digits do).
+  const std::size_t gw = 5, gh = 7;
+  const std::size_t scale = std::max<std::size_t>(1, size / 8);
+  const std::size_t w = gw * scale, h = gh * scale;
+  const auto ox = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(size - w)));
+  const auto oy = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(size - h)));
+  const float contrast = static_cast<float>(rng.uniform(1.2, 2.0));
+  float chan_gain[kChannels];
+  for (std::size_t c = 0; c < kChannels; ++c)
+    chan_gain[c] = static_cast<float>(rng.uniform(0.6, 1.0));
+
+  const char* glyph = kGlyphs[digit];
+  for (std::size_t gy = 0; gy < gh; ++gy)
+    for (std::size_t gx = 0; gx < gw; ++gx) {
+      if (glyph[gy * gw + gx] != '1') continue;
+      for (std::size_t dy = 0; dy < scale; ++dy)
+        for (std::size_t dx = 0; dx < scale; ++dx) {
+          const std::size_t y = oy + gy * scale + dy;
+          const std::size_t x = ox + gx * scale + dx;
+          for (std::size_t c = 0; c < kChannels; ++c)
+            out[(c * size + y) * size + x] = contrast * chan_gain[c];
+        }
+    }
+  for (std::size_t i = 0; i < kChannels * size * size; ++i)
+    out[i] += static_cast<float>(rng.normal(0.0, noise * 0.5));
+}
+
+Dataset generate(const SynthSpec& spec, std::size_t count, Rng& rng,
+                 const std::vector<Prototype>& protos) {
+  const std::size_t classes = synth_num_classes(spec.kind);
+  Dataset d;
+  d.num_classes = classes;
+  d.images = Tensor(
+      Shape{count, kChannels, spec.image_size, spec.image_size});
+  d.labels.resize(count);
+  const std::size_t sample_elems =
+      kChannels * spec.image_size * spec.image_size;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label = static_cast<int>(i % classes);  // balanced classes
+    d.labels[i] = label;
+    float* out = d.images.data() + i * sample_elems;
+    if (spec.kind == SynthKind::kSvhn) {
+      render_digit_sample(label, spec.image_size, spec.noise, rng, out);
+    } else {
+      render_sinusoid_sample(protos[static_cast<std::size_t>(label)],
+                             spec.image_size, spec.noise, rng, out);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+std::size_t synth_num_classes(SynthKind kind) {
+  switch (kind) {
+    case SynthKind::kCifar10: return 10;
+    case SynthKind::kCifar100: return 20;  // superclass granularity
+    case SynthKind::kSvhn: return 10;
+  }
+  throw std::invalid_argument("synth_num_classes: bad kind");
+}
+
+const char* synth_name(SynthKind kind) {
+  switch (kind) {
+    case SynthKind::kCifar10: return "cifar10-like";
+    case SynthKind::kCifar100: return "cifar100-like";
+    case SynthKind::kSvhn: return "svhn-like";
+  }
+  return "?";
+}
+
+TrainTest make_synthetic(const SynthSpec& spec) {
+  Rng rng(spec.seed ^ 0xda7aULL);
+  const std::size_t classes = synth_num_classes(spec.kind);
+
+  std::vector<Prototype> protos;
+  if (spec.kind != SynthKind::kSvhn) {
+    // CIFAR-100-like uses a narrower frequency band, so class prototypes sit
+    // closer together and the task is harder (more confusable classes).
+    const double lo = spec.kind == SynthKind::kCifar100 ? 1.0 : 0.5;
+    const double hi = spec.kind == SynthKind::kCifar100 ? 2.0 : 2.5;
+    protos.reserve(classes);
+    for (std::size_t k = 0; k < classes; ++k)
+      protos.push_back(make_prototype(rng, lo, hi));
+  }
+
+  TrainTest tt;
+  tt.train = generate(spec, spec.train, rng, protos);
+  tt.test = generate(spec, spec.test, rng, protos);
+  return tt;
+}
+
+}  // namespace remapd

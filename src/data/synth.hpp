@@ -1,0 +1,49 @@
+// Synthetic stand-ins for the paper's datasets (CIFAR-10, CIFAR-100, SVHN).
+//
+// The reproduction cannot ship the original datasets, and the phenomenon
+// under study — how stuck-at faults in forward/backward crossbars perturb
+// training dynamics — depends on gradient flow, not natural-image
+// statistics. Each generator produces class-conditionally structured RGB
+// images that a scaled CNN can learn to high accuracy in a few epochs, yet
+// which degrade sharply when gradients are corrupted:
+//
+//  * kCifar10  — 10 classes; per-class low-frequency sinusoid prototypes
+//                (class-specific frequency/phase per channel) + shift + noise.
+//  * kCifar100 — 20 classes (CIFAR-100's superclass granularity), prototypes
+//                drawn closer together so the task is harder, mirroring the
+//                paper's "more challenging to learn" characterization.
+//  * kSvhn     — 10 classes; a 5x7 digit-glyph renderer places the class
+//                digit at a random position/contrast over clutter —
+//                digit-recognition in (synthetic) natural scenes.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace remapd {
+
+enum class SynthKind { kCifar10, kCifar100, kSvhn };
+
+struct SynthSpec {
+  SynthKind kind = SynthKind::kCifar10;
+  std::size_t image_size = 16;
+  std::size_t train = 256;
+  std::size_t test = 128;
+  double noise = 0.25;       ///< additive Gaussian sample noise (stddev)
+  std::uint64_t seed = 1;
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Number of classes produced by a generator kind.
+std::size_t synth_num_classes(SynthKind kind);
+
+/// Human-readable dataset name ("cifar10-like", ...).
+const char* synth_name(SynthKind kind);
+
+/// Deterministic for a given spec (seed included).
+TrainTest make_synthetic(const SynthSpec& spec);
+
+}  // namespace remapd

@@ -1,0 +1,45 @@
+#include "ecc/an_code.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+
+AnCode::AnCode(std::int64_t a) : a_(a) {
+  if (a < 3 || a % 2 == 0)
+    throw std::invalid_argument("AnCode: A must be odd and >= 3");
+}
+
+std::int64_t AnCode::decode(std::int64_t code) const {
+  if (code % a_ != 0)
+    throw std::invalid_argument("AnCode::decode: corrupted code word");
+  return code / a_;
+}
+
+std::int64_t AnCode::residue(std::int64_t code) const {
+  std::int64_t r = code % a_;
+  if (r > a_ / 2) r -= a_;
+  if (r < -(a_ / 2)) r += a_;
+  return r;
+}
+
+std::int64_t AnCode::correct(std::int64_t code) const {
+  return code - residue(code);
+}
+
+std::vector<std::int64_t> AnCode::encode(
+    const std::vector<std::int64_t>& values) const {
+  std::vector<std::int64_t> out;
+  out.reserve(values.size());
+  for (std::int64_t v : values) out.push_back(encode(v));
+  return out;
+}
+
+std::vector<std::int64_t> AnCode::correct_and_decode(
+    const std::vector<std::int64_t>& codes) const {
+  std::vector<std::int64_t> out;
+  out.reserve(codes.size());
+  for (std::int64_t c : codes) out.push_back(correct(c) / a_);
+  return out;
+}
+
+}  // namespace remapd

@@ -1,0 +1,60 @@
+// AN-code arithmetic error coding, the ECC scheme of Feinberg et al. [10]
+// that the paper uses as its first baseline.
+//
+// An AN code multiplies every datum by a constant A before storage; any
+// code word must therefore be a multiple of A. Because matrix-vector
+// multiplication is linear, crossbar MVM outputs of encoded operands remain
+// multiples of A, and a non-zero residue (y mod A) flags an error. Additive
+// errors of magnitude |e| < A/2 are correctable by rounding to the nearest
+// multiple of A; larger or compound errors (multiple faulty cells feeding
+// one output — exactly what happens at high local fault density) exceed the
+// code's capability, which is why the AN-code baseline collapses on
+// crossbars with clustered faults (§IV.C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace remapd {
+
+class AnCode {
+ public:
+  /// `a` must be >= 3 and odd (odd A detects all single-bit flips).
+  explicit AnCode(std::int64_t a = 17);
+
+  [[nodiscard]] std::int64_t a() const { return a_; }
+
+  [[nodiscard]] std::int64_t encode(std::int64_t value) const {
+    return a_ * value;
+  }
+  /// Exact decode of a valid code word. Throws if `code` is not a multiple
+  /// of A (use correct() first for possibly-faulty words).
+  [[nodiscard]] std::int64_t decode(std::int64_t code) const;
+
+  /// True when `code` carries no detectable error.
+  [[nodiscard]] bool check(std::int64_t code) const {
+    return residue(code) == 0;
+  }
+  /// Residue (code mod A), folded into (-A/2, A/2].
+  [[nodiscard]] std::int64_t residue(std::int64_t code) const;
+
+  /// Round to the nearest multiple of A — corrects any additive error of
+  /// magnitude < A/2.
+  [[nodiscard]] std::int64_t correct(std::int64_t code) const;
+
+  /// Largest additive error magnitude the code corrects.
+  [[nodiscard]] std::int64_t correctable_magnitude() const {
+    return (a_ - 1) / 2;
+  }
+
+  // Vector conveniences.
+  [[nodiscard]] std::vector<std::int64_t> encode(
+      const std::vector<std::int64_t>& values) const;
+  [[nodiscard]] std::vector<std::int64_t> correct_and_decode(
+      const std::vector<std::int64_t>& codes) const;
+
+ private:
+  std::int64_t a_;
+};
+
+}  // namespace remapd

@@ -1,0 +1,30 @@
+#include "models/registry.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+
+std::size_t Model::total_mapped_weights() {
+  std::size_t total = 0;
+  for (FaultableLayer* f : faultable())
+    total += f->weight_rows() * f->weight_cols();
+  return total;
+}
+
+Model build_model(const std::string& name, const ModelConfig& cfg, Rng& rng) {
+  if (name == "vgg11") return build_vgg(11, cfg, rng);
+  if (name == "vgg16") return build_vgg(16, cfg, rng);
+  if (name == "vgg19") return build_vgg(19, cfg, rng);
+  if (name == "resnet12") return build_resnet(12, cfg, rng);
+  if (name == "resnet18") return build_resnet(18, cfg, rng);
+  if (name == "squeezenet") return build_squeezenet(cfg, rng);
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+const std::vector<std::string>& model_zoo() {
+  static const std::vector<std::string> zoo = {
+      "vgg11", "vgg16", "vgg19", "resnet12", "resnet18", "squeezenet"};
+  return zoo;
+}
+
+}  // namespace remapd

@@ -1,0 +1,57 @@
+// Model zoo used in the paper's evaluation: VGG-11/16/19 [2], ResNet-12/18
+// [1] (ResNet-12 = ResNet-18 minus 6 conv layers, as in §IV.A), and
+// SqueezeNet [20].
+//
+// The paper trains the full-size models on a GPU; this reproduction runs
+// width-scaled variants (same depth and topology, fewer channels, smaller
+// input) sized for a single CPU core. `ModelConfig::base_width` sets the
+// width of the paper's 64-channel stage; 8 reproduces qualitative behaviour
+// in seconds per epoch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace remapd {
+
+struct ModelConfig {
+  std::size_t num_classes = 10;
+  std::size_t input_size = 16;   ///< square input resolution
+  std::size_t input_channels = 3;
+  std::size_t base_width = 8;    ///< width of the paper's 64-channel stage
+};
+
+/// A built CNN: the layer graph plus bookkeeping for the crossbar mapper.
+struct Model {
+  std::string name;
+  ModelConfig config;
+  std::unique_ptr<Sequential> net;
+
+  Tensor forward(const Tensor& x, bool train) {
+    return net->forward(x, train);
+  }
+  Tensor backward(const Tensor& dy) { return net->backward(dy); }
+  std::vector<Param*> params() { return net->params(); }
+  /// All crossbar-mapped (weight-bearing) layers, in topological order.
+  std::vector<FaultableLayer*> faultable() {
+    return collect_faultable(*net);
+  }
+  /// Total weights across faultable layers.
+  [[nodiscard]] std::size_t total_mapped_weights();
+};
+
+Model build_vgg(int depth, const ModelConfig& cfg, Rng& rng);       // 11/16/19
+Model build_resnet(int depth, const ModelConfig& cfg, Rng& rng);    // 12/18
+Model build_squeezenet(const ModelConfig& cfg, Rng& rng);
+
+/// Build by name: "vgg11" | "vgg16" | "vgg19" | "resnet12" | "resnet18" |
+/// "squeezenet". Throws std::invalid_argument for unknown names.
+Model build_model(const std::string& name, const ModelConfig& cfg, Rng& rng);
+
+/// The five models of Fig. 5 plus SqueezeNet (Fig. 6 order).
+const std::vector<std::string>& model_zoo();
+
+}  // namespace remapd

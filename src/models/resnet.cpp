@@ -1,0 +1,48 @@
+#include <stdexcept>
+
+#include "models/registry.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace remapd {
+
+Model build_resnet(int depth, const ModelConfig& cfg, Rng& rng) {
+  // ResNet-18 = stem + 4 stages of 2 basic blocks (16 convs) + FC.
+  // ResNet-12 removes 6 conv layers, i.e. one basic block from each of the
+  // first three stages (§IV.A: "removing 6 convolution layers").
+  std::vector<int> blocks;
+  if (depth == 18) blocks = {2, 2, 2, 2};
+  else if (depth == 12) blocks = {1, 1, 1, 2};
+  else throw std::invalid_argument("resnet depth must be 12 or 18");
+
+  auto net = std::make_unique<Sequential>("resnet" + std::to_string(depth));
+  const std::size_t w = cfg.base_width;
+
+  net->emplace<Conv2d>(cfg.input_channels, w, 3, 1, 1, rng, "stem");
+  net->emplace<BatchNorm>(w, 0.1f, 1e-5f, "stem.bn");
+  net->emplace<ReLU>();
+
+  std::size_t in_ch = w;
+  std::size_t spatial = cfg.input_size;
+  const std::size_t stage_ch[4] = {w, 2 * w, 4 * w, 8 * w};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+      // First block of stages 2..4 downsamples — but only while the feature
+      // map can still shrink (scaled inputs are smaller than the paper's).
+      std::size_t stride = (stage > 0 && b == 0 && spatial >= 2) ? 2 : 1;
+      const std::string tag =
+          "s" + std::to_string(stage) + "b" + std::to_string(b);
+      net->emplace<ResidualBlock>(in_ch, stage_ch[stage], stride, rng, tag);
+      in_ch = stage_ch[stage];
+      spatial /= stride;
+    }
+  }
+
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(in_ch, cfg.num_classes, rng, "fc");
+
+  return Model{"resnet" + std::to_string(depth), cfg, std::move(net)};
+}
+
+}  // namespace remapd

@@ -1,0 +1,42 @@
+#include "models/registry.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace remapd {
+
+Model build_squeezenet(const ModelConfig& cfg, Rng& rng) {
+  // SqueezeNet v1.1-style topology scaled to base_width: stem conv, six fire
+  // modules with periodic max-pooling, 1x1 classifier conv, global average
+  // pool producing the logits (the hallmark parameter-lean design of [20]).
+  auto net = std::make_unique<Sequential>("squeezenet");
+  const std::size_t w = cfg.base_width;  // paper's 64 -> w
+
+  net->emplace<Conv2d>(cfg.input_channels, 2 * w, 3, 1, 1, rng, "stem");
+  net->emplace<BatchNorm>(2 * w, 0.1f, 1e-5f, "stem.bn");
+  net->emplace<ReLU>();
+  std::size_t spatial = cfg.input_size;
+  std::size_t in_ch = 2 * w;
+
+  struct FirePlan { std::size_t squeeze, expand; };
+  const FirePlan plans[6] = {{w / 2, w},     {w / 2, w},
+                             {w, 2 * w},     {w, 2 * w},
+                             {3 * w / 2, 3 * w}, {3 * w / 2, 3 * w}};
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 0 && spatial >= 2 && spatial % 2 == 0) {
+      net->emplace<MaxPool2d>(2);
+      spatial /= 2;
+    }
+    auto* fire = net->emplace<FireModule>(in_ch, plans[i].squeeze,
+                                          plans[i].expand, plans[i].expand,
+                                          rng, "fire" + std::to_string(i));
+    in_ch = fire->out_channels();
+  }
+
+  net->emplace<Conv2d>(in_ch, cfg.num_classes, 1, 1, 0, rng, "classifier");
+  net->emplace<GlobalAvgPool>();
+
+  return Model{"squeezenet", cfg, std::move(net)};
+}
+
+}  // namespace remapd

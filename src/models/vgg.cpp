@@ -1,0 +1,69 @@
+#include <stdexcept>
+
+#include "models/registry.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace remapd {
+namespace {
+
+// Standard VGG stage plans; -1 denotes a max-pool ("M").
+const std::vector<int>& vgg_plan(int depth) {
+  static const std::vector<int> v11 = {64, -1, 128, -1, 256, 256, -1,
+                                       512, 512, -1, 512, 512, -1};
+  static const std::vector<int> v16 = {64, 64, -1, 128, 128, -1,
+                                       256, 256, 256, -1,
+                                       512, 512, 512, -1,
+                                       512, 512, 512, -1};
+  static const std::vector<int> v19 = {64, 64, -1, 128, 128, -1,
+                                       256, 256, 256, 256, -1,
+                                       512, 512, 512, 512, -1,
+                                       512, 512, 512, 512, -1};
+  switch (depth) {
+    case 11: return v11;
+    case 16: return v16;
+    case 19: return v19;
+    default: throw std::invalid_argument("vgg depth must be 11/16/19");
+  }
+}
+
+}  // namespace
+
+Model build_vgg(int depth, const ModelConfig& cfg, Rng& rng) {
+  auto net = std::make_unique<Sequential>("vgg" + std::to_string(depth));
+  std::size_t in_ch = cfg.input_channels;
+  std::size_t spatial = cfg.input_size;
+  int conv_idx = 0;
+
+  for (int entry : vgg_plan(depth)) {
+    if (entry == -1) {
+      // Pool only while spatial resolution allows it — scaled inputs are
+      // smaller than the paper's 32x32, so trailing pools are skipped once
+      // the feature map can no longer halve evenly.
+      if (spatial >= 2 && spatial % 2 == 0) {
+        net->emplace<MaxPool2d>(2);
+        spatial /= 2;
+      }
+      continue;
+    }
+    const std::size_t out_ch =
+        static_cast<std::size_t>(entry) * cfg.base_width / 64;
+    const std::string tag = "conv" + std::to_string(conv_idx++);
+    net->emplace<Conv2d>(in_ch, out_ch, 3, 1, 1, rng, tag);
+    net->emplace<BatchNorm>(out_ch, 0.1f, 1e-5f, tag + ".bn");
+    net->emplace<ReLU>();
+    in_ch = out_ch;
+  }
+
+  net->emplace<Flatten>();
+  const std::size_t feat = in_ch * spatial * spatial;
+  const std::size_t hidden = 8 * cfg.base_width;
+  net->emplace<Linear>(feat, hidden, rng, "fc0");
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden, cfg.num_classes, rng, "fc1");
+
+  return Model{"vgg" + std::to_string(depth), cfg, std::move(net)};
+}
+
+}  // namespace remapd

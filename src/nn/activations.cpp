@@ -1,0 +1,37 @@
+#include "nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) mask_ = Tensor::zeros(x.shape());
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) mask_[i] = 1.0f;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  if (mask_.empty()) throw std::logic_error("relu: backward before forward");
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.numel(); ++i) dx[i] *= mask_[i];
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  if (train) input_shape_ = x.shape();
+  const std::size_t n = x.shape()[0];
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& dy) {
+  return dy.reshaped(input_shape_);
+}
+
+}  // namespace remapd

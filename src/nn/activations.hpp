@@ -1,0 +1,30 @@
+// Stateless activation layers. These run on CMOS functional units in the
+// target RCS tile (Fig. 1) and are therefore assumed fault-free.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace remapd {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  ///< 1 where x > 0
+};
+
+/// Flattens (N, C, H, W) to (N, C*H*W); identity on rank-2 input.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace remapd

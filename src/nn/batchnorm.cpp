@@ -1,0 +1,134 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace remapd {
+namespace {
+
+// Iterate a rank-2 {N,C} or rank-4 {N,C,H,W} tensor channel-wise.
+struct ChannelGeom {
+  std::size_t n, c, spatial;
+};
+
+ChannelGeom geom_of(const Shape& s) {
+  if (s.rank() == 2) return {s[0], s[1], 1};
+  if (s.rank() == 4) return {s[0], s[1], s[2] * s[3]};
+  throw std::invalid_argument("batchnorm: rank must be 2 or 4");
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(std::size_t channels, float momentum, float eps,
+                     std::string tag)
+    : channels_(channels), momentum_(momentum), eps_(eps),
+      gamma_(Tensor::ones(Shape{channels}), tag + ".gamma"),
+      beta_(Tensor::zeros(Shape{channels}), tag + ".beta"),
+      running_mean_(Tensor::zeros(Shape{channels})),
+      running_var_(Tensor::ones(Shape{channels})),
+      window_mean_(Tensor::zeros(Shape{channels})),
+      window_var_(Tensor::zeros(Shape{channels})),
+      tag_(std::move(tag)) {}
+
+void BatchNorm::begin_stats_window() {
+  window_mean_.fill(0.0f);
+  window_var_.fill(0.0f);
+  window_batches_ = 0;
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool train) {
+  const auto g = geom_of(x.shape());
+  if (g.c != channels_)
+    throw std::invalid_argument(tag_ + ": channel mismatch");
+  const std::size_t count = g.n * g.spatial;
+
+  Tensor y(x.shape());
+  if (train) {
+    xhat_ = Tensor::zeros(x.shape());
+    batch_inv_std_.assign(channels_, 0.0f);
+    input_shape_ = x.shape();
+  }
+
+  for (std::size_t ch = 0; ch < channels_; ++ch) {
+    double mean, var;
+    if (train) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < g.n; ++i) {
+        const float* p = x.data() + (i * g.c + ch) * g.spatial;
+        for (std::size_t k = 0; k < g.spatial; ++k) s += p[k];
+      }
+      mean = s / static_cast<double>(count);
+      double v = 0.0;
+      for (std::size_t i = 0; i < g.n; ++i) {
+        const float* p = x.data() + (i * g.c + ch) * g.spatial;
+        for (std::size_t k = 0; k < g.spatial; ++k)
+          v += (p[k] - mean) * (p[k] - mean);
+      }
+      var = v / static_cast<double>(count);
+      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
+                          momentum_ * static_cast<float>(mean);
+      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
+                         momentum_ * static_cast<float>(var);
+      window_mean_[ch] += static_cast<float>(mean);
+      window_var_[ch] += static_cast<float>(var);
+      if (ch + 1 == channels_) ++window_batches_;
+    } else if (window_batches_ > 0) {
+      mean = window_mean_[ch] / static_cast<float>(window_batches_);
+      var = window_var_[ch] / static_cast<float>(window_batches_);
+    } else {
+      mean = running_mean_[ch];
+      var = running_var_[ch];
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    if (train) batch_inv_std_[ch] = inv_std;
+    const float gm = gamma_.value[ch], bt = beta_.value[ch];
+    for (std::size_t i = 0; i < g.n; ++i) {
+      const float* p = x.data() + (i * g.c + ch) * g.spatial;
+      float* q = y.data() + (i * g.c + ch) * g.spatial;
+      float* h = train ? xhat_.data() + (i * g.c + ch) * g.spatial : nullptr;
+      for (std::size_t k = 0; k < g.spatial; ++k) {
+        const float norm = (p[k] - static_cast<float>(mean)) * inv_std;
+        if (h) h[k] = norm;
+        q[k] = gm * norm + bt;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& dy) {
+  if (xhat_.empty()) throw std::logic_error(tag_ + ": backward before fwd");
+  const auto g = geom_of(input_shape_);
+  const auto count = static_cast<float>(g.n * g.spatial);
+
+  Tensor dx(input_shape_);
+  for (std::size_t ch = 0; ch < channels_; ++ch) {
+    // Standard BN backward:
+    // dx = gamma*inv_std/count * (count*dy - sum(dy) - xhat*sum(dy*xhat))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t i = 0; i < g.n; ++i) {
+      const float* d = dy.data() + (i * g.c + ch) * g.spatial;
+      const float* h = xhat_.data() + (i * g.c + ch) * g.spatial;
+      for (std::size_t k = 0; k < g.spatial; ++k) {
+        sum_dy += d[k];
+        sum_dy_xhat += static_cast<double>(d[k]) * h[k];
+      }
+    }
+    gamma_.grad[ch] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[ch] += static_cast<float>(sum_dy);
+
+    const float scale = gamma_.value[ch] * batch_inv_std_[ch] / count;
+    for (std::size_t i = 0; i < g.n; ++i) {
+      const float* d = dy.data() + (i * g.c + ch) * g.spatial;
+      const float* h = xhat_.data() + (i * g.c + ch) * g.spatial;
+      float* o = dx.data() + (i * g.c + ch) * g.spatial;
+      for (std::size_t k = 0; k < g.spatial; ++k) {
+        o[k] = scale * (count * d[k] - static_cast<float>(sum_dy) -
+                        h[k] * static_cast<float>(sum_dy_xhat));
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace remapd

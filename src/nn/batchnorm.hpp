@@ -1,0 +1,42 @@
+// Batch normalization over channels of a rank-4 tensor (or features of a
+// rank-2 tensor). Scale/shift parameters live in CMOS functional units in
+// the target RCS, so they are never faulted or remapped.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace remapd {
+
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(std::size_t channels, float momentum = 0.1f,
+                     float eps = 1e-5f, std::string tag = "bn");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override { return tag_; }
+
+  /// Start a fresh statistics window. Inference uses the within-window
+  /// average of the batch statistics; the trainer opens a window per epoch
+  /// so evaluation sees the activation distribution of the *current*
+  /// weights (important when faulted weights shift activations over
+  /// training — stale EMA statistics would misnormalize).
+  void begin_stats_window();
+
+ private:
+  std::size_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;   ///< EMA fallback (empty window)
+  Tensor window_mean_, window_var_;     ///< per-window accumulated sums
+  std::size_t window_batches_ = 0;
+  std::string tag_;
+
+  // Saved batch statistics / normalized activations for backward.
+  Tensor xhat_;
+  std::vector<float> batch_inv_std_;
+  Shape input_shape_;
+};
+
+}  // namespace remapd

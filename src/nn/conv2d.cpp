@@ -1,0 +1,118 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+
+namespace remapd {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               Rng& rng, std::string tag)
+    : in_ch_(in_channels), out_ch_(out_channels), kernel_(kernel),
+      stride_(stride), pad_(pad),
+      weight_(Tensor::kaiming(Shape{out_channels,
+                                    in_channels * kernel * kernel},
+                              in_channels * kernel * kernel, rng),
+              tag + ".weight"),
+      bias_(Tensor::zeros(Shape{out_channels}), tag + ".bias"),
+      tag_(std::move(tag)) {}
+
+void Conv2d::set_fault_views(FaultView forward_view, FaultView backward_view) {
+  fwd_view_ = std::move(forward_view);
+  bwd_view_ = std::move(backward_view);
+}
+
+void Conv2d::clear_fault_views() {
+  fwd_view_.reset();
+  bwd_view_.reset();
+}
+
+const Tensor& Conv2d::effective_weights(const std::optional<FaultView>& view,
+                                        Tensor& cache) const {
+  if (!view || view->empty()) return weight_.value;
+  if (cache.numel() != weight_.value.numel())
+    cache = Tensor::zeros(weight_.value.shape());
+  view->apply(weight_.value.data(), cache.data(), weight_.value.numel());
+  return cache;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 4 || x.shape()[1] != in_ch_)
+    throw std::invalid_argument(tag_ + ": bad input shape " + x.shape().str());
+  const std::size_t n = x.shape()[0];
+  const ConvGeom g{in_ch_, x.shape()[2], x.shape()[3],
+                   kernel_, kernel_, stride_, pad_};
+  const std::size_t cr = g.col_rows(), cc = g.col_cols();
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+
+  Tensor cols(Shape{n, cr * cc});
+  Tensor y(Shape{n, out_ch_, oh, ow});
+  const Tensor& we = effective_weights(fwd_view_, fwd_eff_);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    float* col = cols.data() + i * cr * cc;
+    im2col(x.data() + i * in_ch_ * g.height * g.width, g, col);
+    // y_i = We (out x cr) * col (cr x cc)
+    gemm(false, false, out_ch_, cc, cr, 1.0f, we.data(), cr, col, cc, 0.0f,
+         y.data() + i * out_ch_ * cc, cc);
+  }
+  // Bias broadcast over spatial positions.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      float* plane = y.data() + (i * out_ch_ + o) * cc;
+      const float b = bias_.value[o];
+      for (std::size_t p = 0; p < cc; ++p) plane[p] += b;
+    }
+
+  if (train) {
+    last_cols_ = std::move(cols);
+    last_geom_ = g;
+    last_batch_ = n;
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  if (last_batch_ == 0)
+    throw std::logic_error(tag_ + ": backward without forward(train)");
+  const ConvGeom& g = last_geom_;
+  const std::size_t n = last_batch_;
+  const std::size_t cr = g.col_rows(), cc = g.col_cols();
+
+  // Parameter gradients are accumulated digitally: the weight-update path
+  // in the target RCS aggregates dW in CMOS peripherals; only the analog
+  // MVMs (forward y = W*x, backward dx = W^T*dy) traverse faulty crossbars.
+  Tensor dx(Shape{n, in_ch_, g.height, g.width});
+  const Tensor& wb = effective_weights(bwd_view_, bwd_eff_);
+  Tensor dcol(Shape{cr, cc});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* dyi = dy.data() + i * out_ch_ * cc;
+    const float* col = last_cols_.data() + i * cr * cc;
+    // dW += dy_i (out x cc) * col^T (cc x cr)
+    gemm(false, true, out_ch_, cr, cc, 1.0f, dyi, cc, col, cc, 1.0f,
+         weight_.grad.data(), cr);
+    // dcol = We_bwd^T (cr x out) * dy_i (out x cc)
+    gemm(true, false, cr, cc, out_ch_, 1.0f, wb.data(), cr, dyi, cc, 0.0f,
+         dcol.data(), cc);
+    col2im(dcol.data(), g, dx.data() + i * in_ch_ * g.height * g.width);
+  }
+  // Gradient components that traverse stuck backward-array cells are
+  // pinned at a fixed sign and full-scale magnitude relative to the MVM's
+  // healthy outputs: this is the "incorrect gradients accumulate after
+  // each weight update" failure mode of §III.B.2 — a persistent
+  // directional error at fixed positions, not zero-mean noise.
+  apply_gradient_pinning(bwd_view_, weight_.grad);
+  // db += sum over batch and spatial.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      const float* plane = dy.data() + (i * out_ch_ + o) * cc;
+      float s = 0.0f;
+      for (std::size_t p = 0; p < cc; ++p) s += plane[p];
+      bias_.grad[o] += s;
+    }
+  return dx;
+}
+
+}  // namespace remapd

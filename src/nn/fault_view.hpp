@@ -1,0 +1,93 @@
+// FaultView: the contract between the ReRAM hardware model and the CNN
+// layers.
+//
+// A layer's weight matrix is stored on crossbars as differential conductance
+// pairs (G+, G-): w = wpos - wneg with wpos = max(w,0), wneg = max(-w,0),
+// each linearly mapped to [g_off, g_on] over [0, w_max]. A stuck-at fault
+// pins one physical cell of the pair, which clamps the *effective* weight
+// seen by the analog MVM:
+//
+//   SA1 on G+ : wpos == w_max  ->  w_eff = w_max - max(-w, 0)
+//   SA0 on G+ : wpos == 0      ->  w_eff = -max(-w, 0)
+//   SA1 on G- : wneg == w_max  ->  w_eff = max(w, 0) - w_max
+//   SA0 on G- : wneg == 0      ->  w_eff = max(w, 0)
+//
+// Forward-pass crossbars (storing W) and backward-pass crossbars (storing
+// W^T for the dX = dY * W^T propagation, as in PipeLayer-style training
+// accelerators) are physically distinct, so a layer carries two independent
+// FaultViews. Remapping moves a *task* (weight block) to a different
+// physical crossbar; the view is rebuilt from the new crossbar's fault mask.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace remapd {
+
+/// Which half of the differential pair is stuck, and at which level.
+/// (For single-array mapping only the SA0/SA1 distinction matters.)
+enum class WeightClampKind : std::uint8_t {
+  kPosStuck0,  ///< SA0 in the positive array
+  kPosStuck1,  ///< SA1 in the positive array
+  kNegStuck0,  ///< SA0 in the negative array
+  kNegStuck1,  ///< SA1 in the negative array
+};
+
+[[nodiscard]] constexpr bool is_stuck_at_1(WeightClampKind k) {
+  return k == WeightClampKind::kPosStuck1 || k == WeightClampKind::kNegStuck1;
+}
+
+/// How logical weights map to cell conductances.
+///
+/// kSingleArrayBias (default; the PytorX-class model the paper evaluates
+/// with): each weight is one cell, w in [-w_max, +w_max] mapped linearly to
+/// [g_off, g_on] with a mid-scale reference column subtracted. A stuck cell
+/// therefore pins the weight at full scale: SA0 (g_off) -> -w_max, SA1
+/// (g_on) -> +w_max.
+///
+/// kDifferentialPair (ablation): w = w+ - w- over two cells; a fault pins
+/// only the half it lands in, so SA0 faults on the inactive half are
+/// harmless and the average corruption is far milder.
+enum class MappingMode : std::uint8_t { kSingleArrayBias, kDifferentialPair };
+
+/// One faulty cell mapped onto a flattened weight index.
+struct WeightClamp {
+  std::uint32_t index;    ///< flattened index into the layer's weight matrix
+  WeightClampKind kind;
+};
+
+/// The set of clamps a physical crossbar imposes on the logical weights of
+/// the task currently mapped to it.
+struct FaultView {
+  std::vector<WeightClamp> clamps;
+  float w_max = 1.0f;  ///< conductance-mapping full-scale weight
+  MappingMode mode = MappingMode::kSingleArrayBias;
+
+  [[nodiscard]] bool empty() const { return clamps.empty(); }
+
+  /// Effective weight of a single stuck cell given its digital value.
+  [[nodiscard]] float clamp_value(float w, WeightClampKind kind) const {
+    if (mode == MappingMode::kSingleArrayBias)
+      return is_stuck_at_1(kind) ? w_max : -w_max;
+    const float wpos = w > 0.0f ? w : 0.0f;
+    const float wneg = w < 0.0f ? -w : 0.0f;
+    switch (kind) {
+      case WeightClampKind::kPosStuck0: return -wneg;
+      case WeightClampKind::kPosStuck1: return w_max - wneg;
+      case WeightClampKind::kNegStuck0: return wpos;
+      case WeightClampKind::kNegStuck1: return wpos - w_max;
+    }
+    return w;
+  }
+
+  /// Copy `n` digital weights into `out`, then apply the clamps.
+  void apply(const float* w, float* out, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = w[i];
+    for (const auto& c : clamps) {
+      if (c.index < n) out[c.index] = clamp_value(w[c.index], c.kind);
+    }
+  }
+};
+
+}  // namespace remapd

@@ -1,0 +1,82 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+
+namespace remapd {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               std::string tag)
+    : in_f_(in_features), out_f_(out_features),
+      weight_(Tensor::kaiming(Shape{out_features, in_features}, in_features,
+                              rng),
+              tag + ".weight"),
+      bias_(Tensor::zeros(Shape{out_features}), tag + ".bias"),
+      tag_(std::move(tag)) {}
+
+void Linear::set_fault_views(FaultView forward_view, FaultView backward_view) {
+  fwd_view_ = std::move(forward_view);
+  bwd_view_ = std::move(backward_view);
+}
+
+void Linear::clear_fault_views() {
+  fwd_view_.reset();
+  bwd_view_.reset();
+}
+
+const Tensor& Linear::effective_weights(const std::optional<FaultView>& view,
+                                        Tensor& cache) const {
+  if (!view || view->empty()) return weight_.value;
+  if (cache.numel() != weight_.value.numel())
+    cache = Tensor::zeros(weight_.value.shape());
+  view->apply(weight_.value.data(), cache.data(), weight_.value.numel());
+  return cache;
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  // Accept any rank: flatten trailing dims into features.
+  const std::size_t n = x.shape()[0];
+  if (x.numel() != n * in_f_)
+    throw std::invalid_argument(tag_ + ": bad input " + x.shape().str());
+  Tensor x2 = x.reshaped(Shape{n, in_f_});
+
+  const Tensor& we = effective_weights(fwd_view_, fwd_eff_);
+  Tensor y(Shape{n, out_f_});
+  // y = x2 (n x in) * We^T (in x out)
+  gemm(false, true, n, out_f_, in_f_, 1.0f, x2.data(), in_f_, we.data(),
+       in_f_, 0.0f, y.data(), out_f_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t o = 0; o < out_f_; ++o) y.at(i, o) += bias_.value[o];
+
+  if (train) {
+    last_x_ = std::move(x2);
+    last_input_shape_ = x.shape();
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  if (last_x_.empty())
+    throw std::logic_error(tag_ + ": backward without forward(train)");
+  const std::size_t n = last_x_.shape()[0];
+
+  // dW += dy^T (out x n) * x (n x in)   — digital accumulation.
+  gemm(true, false, out_f_, in_f_, n, 1.0f, dy.data(), out_f_, last_x_.data(),
+       in_f_, 1.0f, weight_.grad.data(), in_f_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t o = 0; o < out_f_; ++o) bias_.grad[o] += dy.at(i, o);
+
+  // Stuck backward-array cells pin their gradient components at a fixed
+  // sign and full-scale magnitude (see the matching note in conv2d.cpp).
+  apply_gradient_pinning(bwd_view_, weight_.grad);
+
+  // dx = dy (n x out) * We_bwd (out x in) — via the backward crossbars.
+  const Tensor& wb = effective_weights(bwd_view_, bwd_eff_);
+  Tensor dx(Shape{n, in_f_});
+  gemm(false, false, n, in_f_, out_f_, 1.0f, dy.data(), out_f_, wb.data(),
+       in_f_, 0.0f, dx.data(), in_f_);
+  return dx.reshaped(last_input_shape_);
+}
+
+}  // namespace remapd

@@ -1,0 +1,54 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace remapd {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int32_t>& labels) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("softmax_ce: logits must be rank-2");
+  const std::size_t n = logits.shape()[0], c = logits.shape()[1];
+  if (labels.size() != n)
+    throw std::invalid_argument("softmax_ce: label count mismatch");
+
+  LossResult res{0.0f, Tensor(Shape{n, c}), 0};
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float mx = row[0];
+    std::size_t arg = 0;
+    for (std::size_t j = 1; j < c; ++j)
+      if (row[j] > mx) { mx = row[j]; arg = j; }
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const auto label = static_cast<std::size_t>(labels[i]);
+    if (label >= c) throw std::invalid_argument("softmax_ce: label range");
+    if (arg == label) ++res.correct;
+    total += -(row[label] - mx - std::log(denom));
+    float* drow = res.dlogits.data() + i * c;
+    for (std::size_t j = 0; j < c; ++j) {
+      const float p = static_cast<float>(std::exp(row[j] - mx) / denom);
+      drow[j] = (p - (j == label ? 1.0f : 0.0f)) / static_cast<float>(n);
+    }
+  }
+  res.loss = static_cast<float>(total / static_cast<double>(n));
+  return res;
+}
+
+std::size_t count_correct(const Tensor& logits,
+                          const std::vector<std::int32_t>& labels) {
+  const std::size_t n = logits.shape()[0], c = logits.shape()[1];
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    std::size_t arg = 0;
+    for (std::size_t j = 1; j < c; ++j)
+      if (row[j] > row[arg]) arg = j;
+    if (arg == static_cast<std::size_t>(labels[i])) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace remapd

@@ -1,0 +1,26 @@
+// Softmax cross-entropy loss with integer labels. The final classifier loss
+// is computed digitally in the RCS (CMOS), so it is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace remapd {
+
+struct LossResult {
+  float loss;        ///< mean cross-entropy over the batch
+  Tensor dlogits;    ///< gradient w.r.t. logits (already divided by batch)
+  std::size_t correct;  ///< top-1 correct predictions in the batch
+};
+
+/// logits: {N, C}; labels: N entries in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int32_t>& labels);
+
+/// Top-1 accuracy helper (no gradient).
+std::size_t count_correct(const Tensor& logits,
+                          const std::vector<std::int32_t>& labels);
+
+}  // namespace remapd

@@ -1,0 +1,85 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace remapd {
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 4)
+    throw std::invalid_argument("maxpool: rank-4 input required");
+  const std::size_t n = x.shape()[0], c = x.shape()[1];
+  const std::size_t h = x.shape()[2], w = x.shape()[3];
+  if (h % window_ != 0 || w % window_ != 0)
+    throw std::invalid_argument("maxpool: size not divisible by window");
+  const std::size_t oh = h / window_, ow = w / window_;
+
+  Tensor y(Shape{n, c, oh, ow});
+  if (train) {
+    argmax_.assign(y.numel(), 0);
+    input_shape_ = x.shape();
+  }
+  std::size_t oi = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      for (std::size_t y0 = 0; y0 < oh; ++y0)
+        for (std::size_t x0 = 0; x0 < ow; ++x0, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy0 = 0; dy0 < window_; ++dy0)
+            for (std::size_t dx0 = 0; dx0 < window_; ++dx0) {
+              const std::size_t iy = y0 * window_ + dy0;
+              const std::size_t ix = x0 * window_ + dx0;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = (i * c + ch) * h * w + iy * w + ix;
+              }
+            }
+          y[oi] = best;
+          if (train) argmax_[oi] = best_idx;
+        }
+    }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& dy) {
+  if (argmax_.empty())
+    throw std::logic_error("maxpool: backward before forward");
+  Tensor dx = Tensor::zeros(input_shape_);
+  for (std::size_t i = 0; i < dy.numel(); ++i) dx[argmax_[i]] += dy[i];
+  return dx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 4)
+    throw std::invalid_argument("gap: rank-4 input required");
+  const std::size_t n = x.shape()[0], c = x.shape()[1];
+  const std::size_t hw = x.shape()[2] * x.shape()[3];
+  if (train) input_shape_ = x.shape();
+  Tensor y(Shape{n, c});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * hw;
+      float s = 0.0f;
+      for (std::size_t p = 0; p < hw; ++p) s += plane[p];
+      y.at(i, ch) = s / static_cast<float>(hw);
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  const std::size_t n = input_shape_[0], c = input_shape_[1];
+  const std::size_t hw = input_shape_[2] * input_shape_[3];
+  Tensor dx(input_shape_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = dy.at(i, ch) / static_cast<float>(hw);
+      float* plane = dx.data() + (i * c + ch) * hw;
+      for (std::size_t p = 0; p < hw; ++p) plane[p] = g;
+    }
+  return dx;
+}
+
+}  // namespace remapd

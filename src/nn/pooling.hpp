@@ -1,0 +1,37 @@
+// Pooling layers — implemented by the tile's CMOS pooling units (Fig. 1),
+// hence fault-free in the simulation.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace remapd {
+
+/// Max pooling with square window and stride == window.
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window) : window_(window) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "maxpool"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> argmax_;  ///< flat input index per output element
+  Shape input_shape_;
+};
+
+/// Global average pooling: (N, C, H, W) -> (N, C).
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "gap"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace remapd

@@ -1,0 +1,45 @@
+#include "nn/sgd.hpp"
+
+#include <cmath>
+
+namespace remapd {
+
+Sgd::Sgd(std::vector<Param*> params, Config cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_)
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  // Global-norm gradient clipping keeps training stable when faulty
+  // backward crossbars inject large spurious gradient components.
+  float scale = 1.0f;
+  if (cfg_.grad_clip > 0.0f) {
+    double sq = 0.0;
+    for (const Param* p : params_)
+      for (std::size_t i = 0; i < p->grad.numel(); ++i)
+        sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    const double norm = std::sqrt(sq);
+    if (norm > cfg_.grad_clip)
+      scale = static_cast<float>(cfg_.grad_clip / norm);
+  }
+
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    Tensor& v = velocity_[k];
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float g =
+          p->grad[i] * scale + cfg_.weight_decay * p->value[i];
+      v[i] = cfg_.momentum * v[i] + g;
+      p->value[i] -= cfg_.lr * v[i];
+    }
+    p->zero_grad();
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace remapd

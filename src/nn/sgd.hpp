@@ -1,0 +1,35 @@
+// Stochastic gradient descent with momentum and weight decay — the update
+// rule PytorX uses for from-scratch CNN training in the paper's evaluation.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace remapd {
+
+class Sgd {
+ public:
+  struct Config {
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float weight_decay = 5e-4f;
+    float grad_clip = 5.0f;  ///< global-norm clip; <=0 disables
+  };
+
+  explicit Sgd(std::vector<Param*> params) : Sgd(std::move(params), Config{}) {}
+  Sgd(std::vector<Param*> params, Config cfg);
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+  void zero_grad();
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  void set_lr(float lr) { cfg_.lr = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  Config cfg_;
+};
+
+}  // namespace remapd

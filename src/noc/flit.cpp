@@ -1,0 +1,17 @@
+#include "noc/flit.hpp"
+
+namespace remapd {
+namespace noc {
+
+const char* packet_kind_name(PacketKind k) {
+  switch (k) {
+    case PacketKind::kRemapRequest: return "remap-request";
+    case PacketKind::kRemapResponse: return "remap-response";
+    case PacketKind::kWeightTransfer: return "weight-transfer";
+    case PacketKind::kTraining: return "training";
+  }
+  return "?";
+}
+
+}  // namespace noc
+}  // namespace remapd

@@ -1,0 +1,56 @@
+// Packet / flit primitives of the c-mesh NoC simulator (the BookSim
+// substitute). Packets are wormhole-switched: a head flit opens a path,
+// body flits follow, the tail flit releases it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace remapd {
+namespace noc {
+
+using PacketId = std::uint64_t;
+using NodeId = std::size_t;  ///< NoC endpoint (== RCS tile id)
+
+constexpr NodeId kBroadcast = static_cast<NodeId>(-1);
+
+enum class PacketKind : std::uint8_t {
+  kRemapRequest,    ///< Fig. 3(a): sender -> all tiles, 1 flit, broadcast
+  kRemapResponse,   ///< Fig. 3(b): receiver -> sender, 1 flit, unicast
+  kWeightTransfer,  ///< Fig. 3(c): bulk weight exchange, many flits
+  kTraining,        ///< background CNN traffic (activations/gradients)
+};
+
+const char* packet_kind_name(PacketKind k);
+
+struct Packet {
+  PacketId id = 0;
+  PacketKind kind = PacketKind::kTraining;
+  NodeId src = 0;
+  NodeId dst = 0;            ///< kBroadcast for multicast-to-all
+  std::size_t length_flits = 1;
+  std::uint64_t inject_cycle = 0;
+};
+
+/// Delivery record kept by the network for every packet.
+struct PacketStats {
+  Packet packet;
+  std::uint64_t first_delivery_cycle = 0;
+  std::uint64_t last_delivery_cycle = 0;  ///< tail at the last destination
+  std::size_t deliveries = 0;             ///< destinations fully served
+  bool complete = false;
+
+  [[nodiscard]] std::uint64_t latency() const {
+    return last_delivery_cycle - packet.inject_cycle;
+  }
+};
+
+struct Flit {
+  PacketId packet = 0;
+  std::uint32_t seq = 0;
+  bool head = false;
+  bool tail = false;
+};
+
+}  // namespace noc
+}  // namespace remapd

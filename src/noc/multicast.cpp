@@ -1,0 +1,94 @@
+#include "noc/multicast.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+namespace noc {
+
+std::size_t CmeshGeometry::router_of_tile(std::size_t tile) const {
+  const std::size_t tx = tile % tiles_x, ty = tile / tiles_x;
+  return router_at(tx / 2, ty / 2);
+}
+
+std::size_t CmeshGeometry::local_port_of_tile(std::size_t tile) const {
+  const std::size_t tx = tile % tiles_x, ty = tile / tiles_x;
+  return (ty % 2) * 2 + (tx % 2);
+}
+
+std::size_t CmeshGeometry::tile_at(std::size_t router,
+                                   std::size_t local_port) const {
+  const RouterCoord rc = coord(router);
+  const std::size_t tx = rc.x * 2 + (local_port % 2);
+  const std::size_t ty = rc.y * 2 + (local_port / 2);
+  if (tx >= tiles_x || ty >= tiles_y) return num_tiles();
+  return ty * tiles_x + tx;
+}
+
+std::size_t CmeshGeometry::hop_count(std::size_t tile_a,
+                                     std::size_t tile_b) const {
+  const RouterCoord a = coord(router_of_tile(tile_a));
+  const RouterCoord b = coord(router_of_tile(tile_b));
+  const std::size_t dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const std::size_t dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+std::size_t xy_route(const CmeshGeometry& g, std::size_t router,
+                     std::size_t dst_tile) {
+  const std::size_t dst_router = g.router_of_tile(dst_tile);
+  if (dst_router == router) return g.local_port_of_tile(dst_tile);
+  const RouterCoord here = g.coord(router);
+  const RouterCoord there = g.coord(dst_router);
+  // Dimension order: X first, then Y.
+  if (there.x > here.x) return CmeshGeometry::kPortE;
+  if (there.x < here.x) return CmeshGeometry::kPortW;
+  if (there.y > here.y) return CmeshGeometry::kPortS;
+  return CmeshGeometry::kPortN;
+}
+
+std::vector<std::size_t> xy_tree_route(const CmeshGeometry& g,
+                                       std::size_t router,
+                                       std::size_t in_port,
+                                       std::size_t /*src_tile*/) {
+  const RouterCoord rc = g.coord(router);
+  std::vector<std::size_t> out;
+
+  // Local delivery: all attached tiles except the one the flit came from.
+  for (std::size_t lp = 0; lp < CmeshGeometry::kConcentration; ++lp) {
+    if (lp == in_port) continue;
+    if (g.tile_at(router, lp) < g.num_tiles()) out.push_back(lp);
+  }
+
+  const bool has_n = rc.y > 0;
+  const bool has_s = rc.y + 1 < g.routers_y();
+  const bool has_e = rc.x + 1 < g.routers_x();
+  const bool has_w = rc.x > 0;
+
+  if (in_port < CmeshGeometry::kConcentration) {
+    // Origin router: spread along the X axis and both Y directions.
+    if (has_e) out.push_back(CmeshGeometry::kPortE);
+    if (has_w) out.push_back(CmeshGeometry::kPortW);
+    if (has_n) out.push_back(CmeshGeometry::kPortN);
+    if (has_s) out.push_back(CmeshGeometry::kPortS);
+  } else if (in_port == CmeshGeometry::kPortW) {
+    // Travelling east along the trunk: continue, branch both Y ways.
+    if (has_e) out.push_back(CmeshGeometry::kPortE);
+    if (has_n) out.push_back(CmeshGeometry::kPortN);
+    if (has_s) out.push_back(CmeshGeometry::kPortS);
+  } else if (in_port == CmeshGeometry::kPortE) {
+    if (has_w) out.push_back(CmeshGeometry::kPortW);
+    if (has_n) out.push_back(CmeshGeometry::kPortN);
+    if (has_s) out.push_back(CmeshGeometry::kPortS);
+  } else if (in_port == CmeshGeometry::kPortN) {
+    // Travelling south on a branch: keep going.
+    if (has_s) out.push_back(CmeshGeometry::kPortS);
+  } else if (in_port == CmeshGeometry::kPortS) {
+    if (has_n) out.push_back(CmeshGeometry::kPortN);
+  } else {
+    throw std::invalid_argument("xy_tree_route: bad in_port");
+  }
+  return out;
+}
+
+}  // namespace noc
+}  // namespace remapd

@@ -1,0 +1,70 @@
+// Routing functions of the c-mesh: dimension-ordered (XY) unicast and the
+// XY-tree multicast used for remap-request broadcast (§III.B.4, [5]).
+//
+// Port numbering at each router: local ports 0..C-1 (the concentrated
+// tiles), then N, E, S, W.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace remapd {
+namespace noc {
+
+struct RouterCoord {
+  std::size_t x = 0, y = 0;
+};
+
+/// Geometry of a c-mesh: a routers_x x routers_y mesh, each router
+/// concentrating a 2x2 quad of tiles (concentration 4, as in [13]).
+struct CmeshGeometry {
+  std::size_t tiles_x = 4, tiles_y = 4;
+
+  [[nodiscard]] std::size_t routers_x() const { return (tiles_x + 1) / 2; }
+  [[nodiscard]] std::size_t routers_y() const { return (tiles_y + 1) / 2; }
+  [[nodiscard]] std::size_t num_routers() const {
+    return routers_x() * routers_y();
+  }
+  [[nodiscard]] std::size_t num_tiles() const { return tiles_x * tiles_y; }
+  static constexpr std::size_t kConcentration = 4;
+  /// Ports per router: 4 locals + N/E/S/W.
+  static constexpr std::size_t kPorts = kConcentration + 4;
+  static constexpr std::size_t kPortN = kConcentration + 0;
+  static constexpr std::size_t kPortE = kConcentration + 1;
+  static constexpr std::size_t kPortS = kConcentration + 2;
+  static constexpr std::size_t kPortW = kConcentration + 3;
+
+  [[nodiscard]] std::size_t router_of_tile(std::size_t tile) const;
+  /// Local port index (0..3) of a tile at its router.
+  [[nodiscard]] std::size_t local_port_of_tile(std::size_t tile) const;
+  /// Tile attached to (router, local port), or num_tiles() when the quad
+  /// position is beyond the tile grid (odd grid edge).
+  [[nodiscard]] std::size_t tile_at(std::size_t router,
+                                    std::size_t local_port) const;
+  [[nodiscard]] RouterCoord coord(std::size_t router) const {
+    return {router % routers_x(), router / routers_x()};
+  }
+  [[nodiscard]] std::size_t router_at(std::size_t x, std::size_t y) const {
+    return y * routers_x() + x;
+  }
+  /// Router hop distance between two tiles.
+  [[nodiscard]] std::size_t hop_count(std::size_t tile_a,
+                                      std::size_t tile_b) const;
+};
+
+/// XY unicast: the single output port at `router` toward `dst_tile`
+/// (a local port when the destination is attached here).
+std::size_t xy_route(const CmeshGeometry& g, std::size_t router,
+                     std::size_t dst_tile);
+
+/// XY-tree multicast: output ports a broadcast flit entering `router`
+/// through `in_port` must be replicated to. `src_tile` is excluded from
+/// local delivery at its own router. `in_port == kPorts` means the flit was
+/// injected locally at this router.
+std::vector<std::size_t> xy_tree_route(const CmeshGeometry& g,
+                                       std::size_t router,
+                                       std::size_t in_port,
+                                       std::size_t src_tile);
+
+}  // namespace noc
+}  // namespace remapd

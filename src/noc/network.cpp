@@ -1,0 +1,201 @@
+#include "noc/network.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+namespace noc {
+
+Network::Network(NocConfig cfg) : cfg_(cfg) {
+  routers_.reserve(cfg_.geometry.num_routers());
+  for (std::size_t r = 0; r < cfg_.geometry.num_routers(); ++r)
+    routers_.emplace_back(r);
+  inject_queues_.resize(cfg_.geometry.num_tiles());
+}
+
+PacketId Network::inject(PacketKind kind, NodeId src, NodeId dst,
+                         std::size_t length_flits) {
+  if (src >= cfg_.geometry.num_tiles())
+    throw std::invalid_argument("Network::inject: bad src");
+  if (dst != kBroadcast && dst >= cfg_.geometry.num_tiles())
+    throw std::invalid_argument("Network::inject: bad dst");
+  if (length_flits == 0)
+    throw std::invalid_argument("Network::inject: empty packet");
+  if (dst == src)
+    throw std::invalid_argument("Network::inject: src == dst");
+
+  Packet p{next_id_++, kind, src, dst, length_flits, cycle_};
+  PacketStats st;
+  st.packet = p;
+  stats_.emplace(p.id, st);
+  ++in_flight_;
+
+  for (std::size_t i = 0; i < length_flits; ++i) {
+    Flit f;
+    f.packet = p.id;
+    f.seq = static_cast<std::uint32_t>(i);
+    f.head = (i == 0);
+    f.tail = (i + 1 == length_flits);
+    inject_queues_[src].push_back(f);
+  }
+  return p.id;
+}
+
+void Network::step() {
+  ++cycle_;
+  inject_phase();
+  route_phase();
+}
+
+void Network::inject_phase() {
+  for (std::size_t tile = 0; tile < inject_queues_.size(); ++tile) {
+    auto& q = inject_queues_[tile];
+    if (q.empty()) continue;
+    const std::size_t router = cfg_.geometry.router_of_tile(tile);
+    const std::size_t port = cfg_.geometry.local_port_of_tile(tile);
+    InputPort& in = routers_[router].in[port];
+    if (in.fifo.size() >= cfg_.fifo_depth) continue;
+    in.fifo.push_back(BufferedFlit{q.front(), cycle_});
+    q.pop_front();
+  }
+}
+
+void Network::route_phase() {
+  for (Router& r : routers_) {
+    // Round-robin over input ports for fairness.
+    const std::size_t ports = r.in.size();
+    for (std::size_t k = 0; k < ports; ++k)
+      process_input(r, (r.rr_cursor + k) % ports);
+    r.rr_cursor = (r.rr_cursor + 1) % ports;
+  }
+}
+
+void Network::ensure_route(Router& r, std::size_t port) {
+  InputPort& in = r.in[port];
+  const BufferedFlit& bf = in.fifo.front();
+  const Packet& pkt = stats_.at(bf.flit.packet).packet;
+
+  if (!in.route_valid || in.current_packet != bf.flit.packet) {
+    // A new packet's head reached the front: compute its route here.
+    in.current_packet = bf.flit.packet;
+    if (pkt.dst == kBroadcast)
+      in.packet_route = xy_tree_route(cfg_.geometry, r.id, port, pkt.src);
+    else
+      in.packet_route = {xy_route(cfg_.geometry, r.id, pkt.dst)};
+    in.route_valid = true;
+    in.pending_outputs = in.packet_route;
+  } else if (in.pending_outputs.empty()) {
+    // Next flit of the same packet: replicate along the same route.
+    in.pending_outputs = in.packet_route;
+  }
+}
+
+void Network::process_input(Router& r, std::size_t port) {
+  InputPort& in = r.in[port];
+  if (in.fifo.empty()) return;
+  BufferedFlit& bf = in.fifo.front();
+  if (bf.arrival_cycle >= cycle_) return;  // arrived this cycle; wait one
+
+  ensure_route(r, port);
+
+  // Try to push the flit through every output that still needs a copy.
+  auto& pending = in.pending_outputs;
+  for (std::size_t i = 0; i < pending.size();) {
+    if (try_send(r, port, pending[i], bf.flit))
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+    else
+      ++i;
+  }
+  if (pending.empty()) {
+    const bool was_tail = bf.flit.tail;
+    in.fifo.pop_front();
+    if (was_tail) in.route_valid = false;
+  }
+}
+
+bool Network::try_send(Router& r, std::size_t in_port, std::size_t out_port,
+                       const Flit& f) {
+  // Wormhole: an output belongs to one input from head to tail.
+  std::size_t& lock = r.out_lock[out_port];
+  if (lock != kNoInput && lock != in_port) return false;
+
+  if (out_port < CmeshGeometry::kConcentration) {
+    // Ejection to a tile: no backpressure (absorbed by eDRAM).
+    const std::size_t tile = cfg_.geometry.tile_at(r.id, out_port);
+    if (tile >= cfg_.geometry.num_tiles()) return true;  // edge stub: drop
+    record_ejection(tile, f);
+  } else {
+    // Forward to the neighbouring router.
+    const RouterCoord rc = cfg_.geometry.coord(r.id);
+    std::size_t nx = rc.x, ny = rc.y, nin = 0;
+    switch (out_port) {
+      case CmeshGeometry::kPortN: ny = rc.y - 1; nin = CmeshGeometry::kPortS; break;
+      case CmeshGeometry::kPortS: ny = rc.y + 1; nin = CmeshGeometry::kPortN; break;
+      case CmeshGeometry::kPortE: nx = rc.x + 1; nin = CmeshGeometry::kPortW; break;
+      case CmeshGeometry::kPortW: nx = rc.x - 1; nin = CmeshGeometry::kPortE; break;
+      default: throw std::logic_error("try_send: bad out port");
+    }
+    Router& nb = routers_[cfg_.geometry.router_at(nx, ny)];
+    InputPort& nin_port = nb.in[nin];
+    if (nin_port.fifo.size() >= cfg_.fifo_depth) return false;
+    nin_port.fifo.push_back(BufferedFlit{f, cycle_});
+    ++flit_hops_;
+  }
+
+  // Manage the wormhole lock: head locks, tail releases.
+  if (f.head && !f.tail) lock = in_port;
+  if (f.tail) lock = kNoInput;
+  return true;
+}
+
+void Network::record_ejection(std::size_t tile, const Flit& f) {
+  PacketStats& st = stats_.at(f.packet);
+  if (!f.tail) return;  // completion tracked at tail arrival
+  (void)tile;
+  ++st.deliveries;
+  if (st.deliveries == 1) st.first_delivery_cycle = cycle_;
+  st.last_delivery_cycle = cycle_;
+
+  const std::size_t expected = st.packet.dst == kBroadcast
+                                   ? cfg_.geometry.num_tiles() - 1
+                                   : 1;
+  if (st.deliveries >= expected && !st.complete) {
+    st.complete = true;
+    --in_flight_;
+  }
+}
+
+bool Network::idle() const {
+  for (const auto& q : inject_queues_)
+    if (!q.empty()) return false;
+  for (const auto& r : routers_)
+    if (!r.empty()) return false;
+  return true;
+}
+
+std::uint64_t Network::run_until_idle(std::uint64_t max_cycles) {
+  std::uint64_t executed = 0;
+  while (!idle()) {
+    if (executed++ >= max_cycles)
+      throw std::runtime_error("Network::run_until_idle: timeout (deadlock?)");
+    step();
+  }
+  return executed;
+}
+
+const PacketStats& Network::stats(PacketId id) const {
+  return stats_.at(id);
+}
+
+double Network::mean_latency() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, st] : stats_) {
+    if (!st.complete) continue;
+    sum += static_cast<double>(st.latency());
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace noc
+}  // namespace remapd

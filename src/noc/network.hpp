@@ -1,0 +1,73 @@
+// Flit-level c-mesh network simulator (the BookSim substitute).
+//
+// Wormhole switching with credit-style backpressure (bounded input FIFOs),
+// dimension-ordered XY unicast, XY-tree broadcast with per-router flit
+// replication, one hop per cycle. Tiles inject at most one flit per cycle
+// and eject without backpressure (eDRAM buffers absorb arrivals, Fig. 1).
+#pragma once
+
+#include <unordered_map>
+
+#include "noc/router.hpp"
+
+namespace remapd {
+namespace noc {
+
+struct NocConfig {
+  CmeshGeometry geometry{};
+  std::size_t fifo_depth = 4;
+};
+
+class Network {
+ public:
+  explicit Network(NocConfig cfg);
+
+  [[nodiscard]] const NocConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// Queue a packet for injection at its source tile. Returns the id.
+  PacketId inject(PacketKind kind, NodeId src, NodeId dst,
+                  std::size_t length_flits);
+
+  /// Advance one cycle.
+  void step();
+
+  /// True when no packet is queued, buffered, or in flight.
+  [[nodiscard]] bool idle() const;
+
+  /// Step until idle or `max_cycles` more cycles elapse. Returns cycles
+  /// actually executed. Throws std::runtime_error on timeout (indicates a
+  /// routing deadlock — a bug).
+  std::uint64_t run_until_idle(std::uint64_t max_cycles = 10'000'000);
+
+  [[nodiscard]] const PacketStats& stats(PacketId id) const;
+  [[nodiscard]] std::size_t packets_injected() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t flit_hops() const { return flit_hops_; }
+  /// Mean tail latency over completed packets.
+  [[nodiscard]] double mean_latency() const;
+
+ private:
+  void inject_phase();
+  void route_phase();
+  /// Attempt to deliver the head flit of (router, port) to all pending
+  /// outputs. Pops the flit when fully replicated.
+  void process_input(Router& r, std::size_t port);
+  /// Establish route for the packet at the front of an input port.
+  void ensure_route(Router& r, std::size_t port);
+  /// Send one flit copy through an output. Returns success.
+  bool try_send(Router& r, std::size_t in_port, std::size_t out_port,
+                const Flit& f);
+  void record_ejection(std::size_t tile, const Flit& f);
+
+  NocConfig cfg_;
+  std::vector<Router> routers_;
+  std::vector<std::deque<Flit>> inject_queues_;  ///< per tile
+  std::unordered_map<PacketId, PacketStats> stats_;
+  std::uint64_t cycle_ = 0;
+  PacketId next_id_ = 1;
+  std::uint64_t flit_hops_ = 0;
+  std::size_t in_flight_ = 0;  ///< packets not yet fully delivered
+};
+
+}  // namespace noc
+}  // namespace remapd

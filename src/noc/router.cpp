@@ -1,0 +1,13 @@
+#include "noc/router.hpp"
+
+// Router is a plain state holder; the movement logic lives in network.cpp.
+// This anchor pins the translation unit for the build.
+
+namespace remapd {
+namespace noc {
+
+static_assert(CmeshGeometry::kPorts == 8,
+              "c-mesh router: 4 local ports + N/E/S/W");
+
+}  // namespace noc
+}  // namespace remapd

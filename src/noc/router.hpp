@@ -1,0 +1,54 @@
+// Router state of the c-mesh NoC: per-port input FIFOs, wormhole output
+// locks, and the bookkeeping for tree-multicast flit replication. Movement
+// logic lives in Network (it needs neighbour access); the router owns only
+// its local state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "noc/multicast.hpp"
+
+namespace remapd {
+namespace noc {
+
+constexpr std::size_t kNoInput = static_cast<std::size_t>(-1);
+
+struct BufferedFlit {
+  Flit flit;
+  std::uint64_t arrival_cycle = 0;  ///< earliest cycle it may move on
+};
+
+/// Per-input-port state.
+struct InputPort {
+  std::deque<BufferedFlit> fifo;
+  // Replication bookkeeping for the head flit: the output ports that still
+  // need a copy. Filled when a head flit reaches the FIFO front; body flits
+  // inherit the packet's route.
+  std::vector<std::size_t> pending_outputs;
+  PacketId current_packet = 0;
+  std::vector<std::size_t> packet_route;  ///< full route of current packet
+  bool route_valid = false;
+};
+
+struct Router {
+  std::size_t id = 0;
+  std::vector<InputPort> in;            ///< kPorts entries
+  std::vector<std::size_t> out_lock;    ///< owning input per output, kNoInput
+  std::size_t rr_cursor = 0;            ///< round-robin arbitration start
+
+  explicit Router(std::size_t router_id)
+      : id(router_id), in(CmeshGeometry::kPorts),
+        out_lock(CmeshGeometry::kPorts, kNoInput) {}
+
+  [[nodiscard]] bool empty() const {
+    for (const auto& p : in)
+      if (!p.fifo.empty()) return false;
+    return true;
+  }
+};
+
+}  // namespace noc
+}  // namespace remapd

@@ -1,0 +1,62 @@
+#include "noc/topology.hpp"
+
+#include "noc/multicast.hpp"
+
+namespace remapd {
+namespace noc {
+namespace {
+
+/// Mean and max Manhattan distance between router positions of all ordered
+/// tile pairs, for a grid where tile (x, y) maps to router
+/// (x / cx, y / cy).
+void pairwise_hops(std::size_t tiles_x, std::size_t tiles_y, std::size_t cx,
+                   std::size_t cy, double* avg, std::size_t* max) {
+  double sum = 0.0;
+  std::size_t count = 0, mx = 0;
+  for (std::size_t ay = 0; ay < tiles_y; ++ay)
+    for (std::size_t ax = 0; ax < tiles_x; ++ax)
+      for (std::size_t by = 0; by < tiles_y; ++by)
+        for (std::size_t bx = 0; bx < tiles_x; ++bx) {
+          if (ax == bx && ay == by) continue;
+          const std::size_t dx = (ax / cx > bx / cx) ? ax / cx - bx / cx
+                                                     : bx / cx - ax / cx;
+          const std::size_t dy = (ay / cy > by / cy) ? ay / cy - by / cy
+                                                     : by / cy - ay / cy;
+          sum += static_cast<double>(dx + dy);
+          mx = std::max(mx, dx + dy);
+          ++count;
+        }
+  *avg = count ? sum / static_cast<double>(count) : 0.0;
+  *max = mx;
+}
+
+}  // namespace
+
+TopologyStats analyze_mesh(std::size_t tiles_x, std::size_t tiles_y) {
+  TopologyStats s;
+  s.routers = tiles_x * tiles_y;
+  s.ports_per_router = 5;  // 1 local + N/E/S/W
+  pairwise_hops(tiles_x, tiles_y, 1, 1, &s.avg_hops, &s.max_hops);
+  // The XY broadcast tree spans every router once: routers - 1 edges.
+  s.broadcast_tree_links = s.routers - 1;
+  s.relative_router_area =
+      static_cast<double>(s.routers) *
+      static_cast<double>(s.ports_per_router * s.ports_per_router);
+  return s;
+}
+
+TopologyStats analyze_cmesh(std::size_t tiles_x, std::size_t tiles_y) {
+  TopologyStats s;
+  const CmeshGeometry g{tiles_x, tiles_y};
+  s.routers = g.num_routers();
+  s.ports_per_router = CmeshGeometry::kPorts;
+  pairwise_hops(tiles_x, tiles_y, 2, 2, &s.avg_hops, &s.max_hops);
+  s.broadcast_tree_links = s.routers - 1;
+  s.relative_router_area =
+      static_cast<double>(s.routers) *
+      static_cast<double>(s.ports_per_router * s.ports_per_router);
+  return s;
+}
+
+}  // namespace noc
+}  // namespace remapd

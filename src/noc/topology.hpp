@@ -1,0 +1,31 @@
+// Analytic topology comparison backing §III.B.1: the paper adopts a
+// concentrated mesh because it "reduces the overall number of routers" and
+// improves hop count and energy over a plain mesh [13] while still
+// supporting XY-tree multicast.
+#pragma once
+
+#include <cstddef>
+
+namespace remapd {
+namespace noc {
+
+struct TopologyStats {
+  std::size_t routers = 0;
+  std::size_t ports_per_router = 0;  ///< locals + N/E/S/W
+  double avg_hops = 0.0;   ///< mean router-to-router hops over tile pairs
+  std::size_t max_hops = 0;
+  std::size_t broadcast_tree_links = 0;  ///< inter-router edges of the
+                                         ///< XY broadcast tree
+  double relative_router_area = 0.0;     ///< total crossbar-switch area,
+                                         ///< arbitrary units (~ports^2)
+};
+
+/// Plain mesh: one tile per router, 5-port routers.
+TopologyStats analyze_mesh(std::size_t tiles_x, std::size_t tiles_y);
+
+/// Concentrated mesh: 2x2 tile quads per router, 8-port routers (the
+/// paper's configuration [13]).
+TopologyStats analyze_cmesh(std::size_t tiles_x, std::size_t tiles_y);
+
+}  // namespace noc
+}  // namespace remapd

@@ -1,0 +1,132 @@
+#include "noc/traffic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace remapd {
+namespace noc {
+
+std::size_t weight_transfer_flits(std::size_t xbar_rows,
+                                  std::size_t xbar_cols,
+                                  std::size_t bits_per_weight,
+                                  std::size_t flit_bits) {
+  const std::size_t bits = xbar_rows * xbar_cols * bits_per_weight;
+  return (bits + flit_bits - 1) / flit_bits;
+}
+
+RemapTrafficResult simulate_remap_protocol(
+    const NocConfig& cfg, const std::vector<NodeId>& senders,
+    const std::vector<std::vector<NodeId>>& responders_per_sender,
+    const std::vector<RemapPair>& pairs, std::size_t transfer_flits) {
+  if (senders.size() != responders_per_sender.size())
+    throw std::invalid_argument("simulate_remap_protocol: size mismatch");
+
+  Network net(cfg);
+  RemapTrafficResult res;
+
+  // Phase (a): broadcast requests from all senders simultaneously.
+  for (NodeId s : senders) {
+    net.inject(PacketKind::kRemapRequest, s, kBroadcast, 1);
+    ++res.packets;
+  }
+  res.request_cycles = net.run_until_idle();
+
+  // Phase (b): each eligible tile unicasts a response to each sender.
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    for (NodeId r : responders_per_sender[i]) {
+      if (r == senders[i]) continue;
+      net.inject(PacketKind::kRemapResponse, r, senders[i], 1);
+      ++res.packets;
+    }
+  }
+  res.response_cycles = net.run_until_idle();
+
+  // Phase (c): bulk weight exchange, both directions per pair, all pairs
+  // in flight together (parallel remapping over disjoint paths).
+  for (const RemapPair& p : pairs) {
+    if (p.sender == p.receiver) continue;
+    net.inject(PacketKind::kWeightTransfer, p.sender, p.receiver,
+               transfer_flits);
+    net.inject(PacketKind::kWeightTransfer, p.receiver, p.sender,
+               transfer_flits);
+    res.packets += 2;
+  }
+  res.transfer_cycles = net.run_until_idle();
+
+  res.total_cycles =
+      res.request_cycles + res.response_cycles + res.transfer_cycles;
+  res.flit_hops = net.flit_hops();
+  return res;
+}
+
+double remap_overhead_percent(const RemapTrafficResult& remap,
+                              const EpochTrafficModel& epoch) {
+  return 100.0 * static_cast<double>(remap.total_cycles) /
+         static_cast<double>(epoch.epoch_noc_cycles);
+}
+
+MonteCarloResult monte_carlo_remap_overhead(const NocConfig& cfg,
+                                            std::size_t rounds,
+                                            std::size_t max_senders,
+                                            std::size_t transfer_flits,
+                                            const EpochTrafficModel& epoch,
+                                            Rng& rng) {
+  const std::size_t tiles = cfg.geometry.num_tiles();
+  MonteCarloResult mc;
+  mc.overhead_percent.reserve(rounds);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Random fault sites: 1..max_senders sender tiles.
+    const auto n_senders = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(
+                               std::min(max_senders, tiles - 1))));
+    const auto sender_idx = rng.sample_without_replacement(tiles, n_senders);
+    std::vector<NodeId> senders(sender_idx.begin(), sender_idx.end());
+    std::vector<bool> is_sender(tiles, false);
+    for (NodeId s : senders) is_sender[s] = true;
+
+    // Non-sender tiles respond with probability reflecting the non-uniform
+    // fault distribution (most tiles are below the sender's density).
+    std::vector<std::vector<NodeId>> responders(senders.size());
+    for (std::size_t i = 0; i < senders.size(); ++i)
+      for (NodeId t = 0; t < tiles; ++t)
+        if (!is_sender[t] && rng.bernoulli(0.5)) responders[i].push_back(t);
+
+    // Each sender picks its nearest responder by hop count (Fig. 3(c));
+    // a responder serves at most one sender per round.
+    std::vector<bool> taken(tiles, false);
+    std::vector<RemapPair> pairs;
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      NodeId best = kBroadcast;
+      std::size_t best_hops = static_cast<std::size_t>(-1);
+      for (NodeId r : responders[i]) {
+        if (taken[r]) continue;
+        const std::size_t h = cfg.geometry.hop_count(senders[i], r);
+        if (h < best_hops) {
+          best_hops = h;
+          best = r;
+        }
+      }
+      if (best != kBroadcast) {
+        taken[best] = true;
+        pairs.push_back(RemapPair{senders[i], best});
+      }
+    }
+
+    const RemapTrafficResult res = simulate_remap_protocol(
+        cfg, senders, responders, pairs, transfer_flits);
+    mc.overhead_percent.push_back(remap_overhead_percent(res, epoch));
+  }
+
+  mc.mean = mean_of(mc.overhead_percent);
+  mc.worst = mc.overhead_percent.empty()
+                 ? 0.0
+                 : *std::max_element(mc.overhead_percent.begin(),
+                                     mc.overhead_percent.end());
+  return mc;
+}
+
+}  // namespace noc
+}  // namespace remapd

@@ -1,0 +1,103 @@
+#include "tensor/gemm.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace remapd {
+namespace {
+
+// Cache-blocked kernel for the common non-transposed case. Block sizes are
+// tuned for L1 residency of the B panel on a typical x86 core.
+constexpr std::size_t kBlockM = 32;
+constexpr std::size_t kBlockN = 64;
+constexpr std::size_t kBlockK = 64;
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float* c, std::size_t ldc) {
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t j1 = std::min(j0 + kBlockN, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t p = p0; p < p1; ++p) {
+            const float aval = alpha * a[i * lda + p];
+            if (aval == 0.0f) continue;
+            const float* brow = b + p * ldb;
+            float* crow = c + i * ldc;
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc) {
+  // Scale / clear C first.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  if (!trans_a && !trans_b) {
+    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  // Transposed variants: materialize the transposed operand once. The model
+  // zoo calls these on modest shapes (weight-gradient GEMMs), so the copy is
+  // cheap relative to the multiply.
+  std::vector<float> abuf, bbuf;
+  const float* ap = a;
+  std::size_t alda = lda;
+  if (trans_a) {
+    abuf.resize(m * k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) abuf[i * k + p] = a[p * lda + i];
+    ap = abuf.data();
+    alda = k;
+  }
+  const float* bp = b;
+  std::size_t bldb = ldb;
+  if (trans_b) {
+    bbuf.resize(k * n);
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t j = 0; j < n; ++j) bbuf[p * n + j] = b[j * ldb + p];
+    bp = bbuf.data();
+    bldb = n;
+  }
+  gemm_nn(m, n, k, alpha, ap, alda, bp, bldb, c, ldc);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  return matmul(a, false, b, false);
+}
+
+Tensor matmul(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2)
+    throw std::invalid_argument("matmul: rank must be 2");
+  const std::size_t m = trans_a ? a.shape()[1] : a.shape()[0];
+  const std::size_t ka = trans_a ? a.shape()[0] : a.shape()[1];
+  const std::size_t kb = trans_b ? b.shape()[1] : b.shape()[0];
+  const std::size_t n = trans_b ? b.shape()[0] : b.shape()[1];
+  if (ka != kb) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor c(Shape{m, n});
+  gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), a.shape()[1], b.data(),
+       b.shape()[1], 0.0f, c.data(), n);
+  return c;
+}
+
+}  // namespace remapd

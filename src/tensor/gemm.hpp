@@ -1,0 +1,26 @@
+// General matrix multiply kernels. A blocked scalar kernel is enough for the
+// scaled-down CNN workloads of this reproduction (single CPU core); the
+// interface mirrors BLAS sgemm semantics so a faster backend could be
+// dropped in.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace remapd {
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+/// A is MxK (after optional transpose), B is KxN, C is MxN.
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc);
+
+/// Convenience wrapper on rank-2 tensors: returns A(MxK) * B(KxN).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Returns op(A) * op(B) with optional transposes.
+Tensor matmul(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b);
+
+}  // namespace remapd

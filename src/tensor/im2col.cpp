@@ -1,0 +1,61 @@
+#include "tensor/im2col.hpp"
+
+namespace remapd {
+
+void im2col(const float* img, const ConvGeom& g, float* col) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = col + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Input row for this output row; pad handled by bounds check.
+          const long iy = static_cast<long>(y * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long>(g.height)) {
+            for (std::size_t x = 0; x < ow; ++x) dst[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* src =
+              img + (c * g.height + static_cast<std::size_t>(iy)) * g.width;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long ix = static_cast<long>(x * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            dst[y * ow + x] =
+                (ix < 0 || ix >= static_cast<long>(g.width))
+                    ? 0.0f
+                    : src[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeom& g, float* img) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = col + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const long iy = static_cast<long>(y * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long>(g.height)) continue;
+          float* dst =
+              img + (c * g.height + static_cast<std::size_t>(iy)) * g.width;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long ix = static_cast<long>(x * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            if (ix < 0 || ix >= static_cast<long>(g.width)) continue;
+            dst[static_cast<std::size_t>(ix)] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace remapd

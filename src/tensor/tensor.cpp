@@ -1,0 +1,130 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace remapd {
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (std::size_t d : dims) n *= d;
+  return dims.empty() ? 0 : n;
+}
+
+std::string Shape::str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(dims[i]);
+  }
+  return s + "]";
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_.numel(), fill) {}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::kaiming(Shape shape, std::size_t fan_in, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in ? fan_in : 1));
+  return randn(std::move(shape), rng, static_cast<float>(stddev));
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  if (shape.numel() != values.size())
+    throw std::invalid_argument("Tensor::from_vector: size mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  return data_[r * shape_[1] + c];
+}
+float Tensor::at(std::size_t r, std::size_t c) const {
+  return data_[r * shape_[1] + c];
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_.str() + " -> " + new_shape.str());
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (!(shape_ == other.shape_))
+    throw std::invalid_argument("Tensor::add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  if (!(shape_ == other.shape_))
+    throw std::invalid_argument("Tensor::axpy_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale_(float alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::size_t Tensor::argmax() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < data_.size(); ++i)
+    if (data_[i] > data_[best]) best = i;
+  return best;
+}
+
+Tensor Tensor::transposed() const {
+  if (shape_.rank() != 2)
+    throw std::invalid_argument("Tensor::transposed: rank must be 2");
+  const std::size_t rows = shape_[0], cols = shape_[1];
+  Tensor t(Shape{cols, rows});
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape()))
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace remapd

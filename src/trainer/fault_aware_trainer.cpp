@@ -1,0 +1,285 @@
+#include "trainer/fault_aware_trainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+
+namespace remapd {
+namespace {
+
+/// Conductance full-scale as a multiple of the layer weight RMS
+/// (REMAPD_WMAX_RMS overrides for ablation studies).
+const float kFullScaleRms = static_cast<float>(
+    env_double("REMAPD_WMAX_RMS", 4.0));
+
+}  // namespace
+
+FaultAwareTrainer::FaultAwareTrainer(TrainerConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed),
+      data_(make_synthetic([&] {
+        SynthSpec s = cfg_.data;
+        s.seed = cfg_.seed;
+        return s;
+      }())),
+      model_([&] {
+        ModelConfig mc = cfg_.model_cfg;
+        mc.num_classes = data_.train.num_classes;
+        mc.input_size = cfg_.data.image_size;
+        Rng init_rng(cfg_.seed ^ 0x1234);
+        return build_model(cfg_.model, mc, init_rng);
+      }()) {
+  layers_ = model_.faultable();
+
+  // Size an RCS with enough crossbars for every forward + backward block.
+  std::vector<std::pair<std::size_t, std::size_t>> dims;
+  dims.reserve(layers_.size());
+  std::size_t blocks = 0;
+  const std::size_t s = cfg_.xbar_size;
+  for (FaultableLayer* l : layers_) {
+    dims.emplace_back(l->weight_rows(), l->weight_cols());
+    const std::size_t fr = (l->weight_rows() + s - 1) / s;
+    const std::size_t fc = (l->weight_cols() + s - 1) / s;
+    blocks += 2 * fr * fc;  // forward + backward copies
+  }
+  RcsConfig rcfg = RcsConfig::sized_for(blocks, s, s);
+  rcs_ = std::make_unique<Rcs>(rcfg);
+  mapper_ = std::make_unique<WeightMapper>(*rcs_);
+  mapper_->map_layers(dims);
+
+  injector_ = std::make_unique<FaultInjector>(cfg_.faults, rng_);
+  policy_ = make_policy(cfg_.policy);
+  density_.reset(rcs_->total_crossbars());
+
+  // Snapshot initial weights and allocate gradient-importance buffers for
+  // the weight-significance baselines.
+  initial_weights_.reserve(layers_.size());
+  grad_importance_.reserve(layers_.size());
+  for (FaultableLayer* l : layers_) {
+    initial_weights_.push_back(l->weight_param().value);
+    grad_importance_.push_back(Tensor::zeros(l->weight_param().value.shape()));
+  }
+}
+
+void FaultAwareTrainer::inject_pre_deployment() {
+  if (!cfg_.faults.enable_pre) return;
+  if (cfg_.fault_target == PhaseFaultTarget::kAll) {
+    injector_->inject_pre_deployment(*rcs_);
+    return;
+  }
+  // Fig. 5 mode: uniform faults only on the crossbars of one phase.
+  const Phase phase = cfg_.fault_target == PhaseFaultTarget::kForwardOnly
+                          ? Phase::kForward
+                          : Phase::kBackward;
+  const double density = cfg_.faults.high_density_hi;
+  for (XbarId x : mapper_->xbars_of_phase(phase)) {
+    Crossbar& xb = rcs_->crossbar(x);
+    const auto count = static_cast<std::size_t>(
+        std::llround(density * static_cast<double>(xb.cell_count())));
+    xb.inject_random_faults(count, cfg_.faults.sa0_fraction, rng_);
+  }
+}
+
+std::uint64_t FaultAwareTrainer::survey() {
+  if (cfg_.use_bist_estimates) {
+    std::uint64_t cycles = 0;
+    density_.update(bist_.survey(*rcs_, &cycles));
+    return cycles;
+  }
+  density_.update(rcs_->fault_densities());
+  return 0;
+}
+
+PolicyContext FaultAwareTrainer::make_context(std::size_t epoch) {
+  PolicyContext ctx;
+  ctx.mapper = mapper_.get();
+  ctx.density = &density_;
+  ctx.epoch = epoch;
+  ctx.rng = &rng_;
+  ctx.layers.resize(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    ctx.layers[l].initial_weights = &initial_weights_[l];
+    ctx.layers[l].grad_importance = &grad_importance_[l];
+  }
+  return ctx;
+}
+
+void FaultAwareTrainer::refresh_fault_views() {
+  PolicyContext ctx = make_context(0);
+  layer_w_max_.resize(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    // Conductance full-scale tracks the layer's dynamic range: the mapping
+    // allocates headroom of `kFullScaleRms` times the weight RMS (like a
+    // fixed-point quantizer clipping rare outliers). A stuck cell therefore
+    // represents a full-scale (multi-sigma) weight value, and conductance
+    // saturation bounds any drift to the same range.
+    const Tensor& w = layers_[l]->weight_param().value;
+    double sq = 0.0;
+    for (std::size_t i = 0; i < w.numel(); ++i)
+      sq += static_cast<double>(w[i]) * w[i];
+    const float rms = static_cast<float>(
+        std::sqrt(sq / static_cast<double>(std::max<std::size_t>(w.numel(), 1))));
+    const float w_max = std::max(0.05f, kFullScaleRms * rms);
+    layer_w_max_[l] = w_max;
+    FaultView fwd =
+        mapper_->build_fault_view(l, Phase::kForward, w_max, cfg_.mapping);
+    FaultView bwd =
+        mapper_->build_fault_view(l, Phase::kBackward, w_max, cfg_.mapping);
+    fwd = policy_->filter_view(l, Phase::kForward, std::move(fwd), ctx);
+    bwd = policy_->filter_view(l, Phase::kBackward, std::move(bwd), ctx);
+    layers_[l]->set_fault_views(std::move(fwd), std::move(bwd));
+  }
+}
+
+TrainResult FaultAwareTrainer::run() {
+  TrainResult result;
+  result.model = model_.name;
+  result.policy = policy_->name();
+  result.dataset = synth_name(cfg_.data.kind);
+  result.policy_area_overhead_percent = policy_->area_overhead_percent();
+
+  inject_pre_deployment();
+  survey();
+  {
+    PolicyContext ctx = make_context(0);
+    policy_->on_training_start(ctx);
+    result.total_remaps += policy_->last_events().size();
+  }
+  refresh_fault_views();
+
+  Sgd sgd(model_.params(), cfg_.sgd);
+  Batcher batcher(data_.train, cfg_.batch_size, rng_);
+
+  const float base_lr = cfg_.sgd.lr;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    // Step learning-rate schedule (x0.3 at 1/2 and 3/4 of training): late
+    // epochs run at a small rate, which keeps a nearly-converged model from
+    // being tipped into divergence by accumulated fault perturbations.
+    float lr = base_lr;
+    if (epoch * 2 >= cfg_.epochs) lr *= 0.3f;
+    if (epoch * 4 >= 3 * cfg_.epochs) lr *= 0.3f;
+    sgd.set_lr(lr);
+
+    for (auto& imp : grad_importance_) imp.fill(0.0f);
+    // Fresh BN statistics window so evaluation normalizes with the current
+    // epoch's activation distribution.
+    model_.net->visit([](Layer& l) {
+      if (auto* bn = dynamic_cast<BatchNorm*>(&l)) bn->begin_stats_window();
+    });
+
+    batcher.start_epoch();
+    double loss_sum = 0.0;
+    std::size_t correct = 0, seen = 0;
+    for (std::size_t b = 0; b < batcher.batches_per_epoch(); ++b) {
+      const Batch batch = batcher.get(b);
+      const Tensor logits = model_.forward(batch.images, /*train=*/true);
+      LossResult lr = softmax_cross_entropy(logits, batch.labels);
+      model_.backward(lr.dlogits);
+
+      // Accumulate |grad| importance before the optimizer clears grads.
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Tensor& g = layers_[l]->weight_param().grad;
+        Tensor& imp = grad_importance_[l];
+        for (std::size_t i = 0; i < g.numel(); ++i)
+          imp[i] += std::abs(g[i]);
+      }
+
+      sgd.step();
+      mapper_->record_weight_update();  // endurance accounting
+
+      // Conductance saturation (ablation): a stored weight cannot leave
+      // the representable range [-w_max, +w_max] — the array write clips
+      // it, bounding pinned-gradient drift.
+      if (cfg_.saturate_weights)
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          const float wm = layer_w_max_[l];
+          Tensor& wt = layers_[l]->weight_param().value;
+          for (std::size_t i = 0; i < wt.numel(); ++i) {
+            if (wt[i] > wm) wt[i] = wm;
+            else if (wt[i] < -wm) wt[i] = -wm;
+          }
+        }
+
+      loss_sum += static_cast<double>(lr.loss) * batch.labels.size();
+      correct += lr.correct;
+      seen += batch.labels.size();
+    }
+
+    // --- epoch boundary: wear-out, BIST, remapping, view refresh ---
+    std::size_t new_faults = 0;
+    if (cfg_.fault_target == PhaseFaultTarget::kAll)
+      new_faults = injector_->inject_post_deployment(*rcs_);
+    const std::uint64_t bist_cycles = survey();
+
+    PolicyContext ctx = make_context(epoch);
+    policy_->on_epoch_end(ctx);
+    const std::size_t remaps = policy_->last_events().size();
+    result.total_remaps += remaps;
+    refresh_fault_views();
+
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.train_loss = static_cast<float>(loss_sum / std::max<std::size_t>(seen, 1));
+    rec.train_accuracy =
+        static_cast<double>(correct) / std::max<std::size_t>(seen, 1);
+    rec.test_accuracy = evaluate_accuracy(model_, data_.test);
+    rec.remaps = remaps;
+    rec.mean_density_est = density_.mean();
+    rec.max_density_est = density_.max();
+    rec.bist_cycles = bist_cycles;
+    std::size_t faults = 0;
+    for (XbarId x = 0; x < rcs_->total_crossbars(); ++x)
+      faults += rcs_->crossbar(x).fault_count();
+    rec.total_faults = faults;
+    (void)new_faults;
+    result.history.push_back(rec);
+
+    if (cfg_.verbose)
+      log_info(model_.name, "/", policy_->name(), " epoch ", epoch,
+               " loss=", rec.train_loss, " train_acc=", rec.train_accuracy,
+               " test_acc=", rec.test_accuracy, " remaps=", remaps,
+               " faults=", faults);
+  }
+
+  result.final_test_accuracy =
+      result.history.empty() ? 0.0 : result.history.back().test_accuracy;
+  return result;
+}
+
+TrainResult train_with_faults(const TrainerConfig& cfg) {
+  FaultAwareTrainer trainer(cfg);
+  return trainer.run();
+}
+
+TrainerConfig recommended_config(const std::string& model) {
+  TrainerConfig cfg;
+  cfg.model = model;
+  cfg.epochs = 8;
+  cfg.data.train = 256;
+  cfg.data.test = 128;
+  // The deep plain VGGs need a gentler rate at the scaled width: at 0.05
+  // their training is stable on ideal hardware but fault perturbations tip
+  // it into divergence, which would confound fault damage with optimizer
+  // instability.
+  cfg.sgd.lr = (model == "vgg16" || model == "vgg19") ? 0.02f : 0.05f;
+  // The two lowest-redundancy architectures — 16-conv plain VGG and
+  // SqueezeNet with its 4-channel squeeze bottlenecks at base width 8 —
+  // get 1.5x width so individual stuck weights cannot sever whole paths
+  // (the paper's full-width models have vastly more redundancy).
+  if (model == "vgg19" || model == "squeezenet")
+    cfg.model_cfg.base_width = 12;
+  return cfg;
+}
+
+void apply_env_overrides(TrainerConfig& cfg) {
+  cfg.epochs = static_cast<std::size_t>(
+      env_int("REMAPD_EPOCHS", static_cast<int>(cfg.epochs)));
+  cfg.data.train = static_cast<std::size_t>(
+      env_int("REMAPD_TRAIN", static_cast<int>(cfg.data.train)));
+  cfg.data.test = static_cast<std::size_t>(
+      env_int("REMAPD_TEST", static_cast<int>(cfg.data.test)));
+}
+
+}  // namespace remapd

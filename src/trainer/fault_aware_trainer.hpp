@@ -1,0 +1,106 @@
+// FaultAwareTrainer: the full system loop of the paper.
+//
+// Per training run:
+//   1. Build the CNN, size an RCS for it, tile + map every weight matrix
+//      (forward and backward copies) onto crossbars.
+//   2. Inject pre-deployment faults (clustered, non-uniform, SA0:SA1 9:1).
+//   3. BIST survey -> density map; policy.on_training_start (e.g. static
+//      fault-aware placement); build fault views and install them.
+//   4. For each epoch: SGD over the training set with the faulted forward
+//      and backward crossbar arithmetic; post-deployment fault injection
+//      (wear-out of the epoch's writes); BIST survey; policy.on_epoch_end
+//      (e.g. Remap-D task swaps); rebuild fault views; evaluate accuracy
+//      through the faulted forward path.
+//
+// Every policy of Fig. 6 plugs into the same loop, so accuracy differences
+// are attributable to the policy alone.
+#pragma once
+
+#include "bist/controller.hpp"
+#include "core/remap_policy.hpp"
+#include "data/synth.hpp"
+#include "nn/sgd.hpp"
+#include "trainer/metrics.hpp"
+#include "xbar/fault_model.hpp"
+
+namespace remapd {
+
+/// Restrict fault injection to the crossbars of one phase (the Fig. 5
+/// forward-vs-backward tolerance experiment).
+enum class PhaseFaultTarget { kAll, kForwardOnly, kBackwardOnly };
+
+struct TrainerConfig {
+  std::string model = "vgg11";
+  ModelConfig model_cfg{};
+  SynthSpec data{};
+  std::size_t epochs = 6;
+  std::size_t batch_size = 32;
+  Sgd::Config sgd{};
+  FaultScenario faults = FaultScenario::ideal();
+  PhaseFaultTarget fault_target = PhaseFaultTarget::kAll;
+  std::string policy = "none";
+  std::size_t xbar_size = 32;  ///< crossbar dimension for the scaled run
+  MappingMode mapping = MappingMode::kSingleArrayBias;
+  /// Clip stored weights to the conductance range after every update.
+  /// Off by default: PytorX-style evaluation keeps an FP32 master copy and
+  /// lets corrupted-gradient momentum drive weights out of range — the
+  /// divergence dynamics behind the paper's large accuracy drops. The
+  /// saturation ablation bench flips this on.
+  bool saturate_weights = false;
+  std::uint64_t seed = 42;
+  bool use_bist_estimates = true;  ///< false: policies see ground truth
+  bool verbose = false;
+};
+
+class FaultAwareTrainer {
+ public:
+  explicit FaultAwareTrainer(TrainerConfig cfg);
+
+  /// Run the full training; returns the per-epoch record.
+  TrainResult run();
+
+  // Introspection for tests / examples (valid after construction).
+  [[nodiscard]] const Rcs& rcs() const { return *rcs_; }
+  [[nodiscard]] const WeightMapper& mapper() const { return *mapper_; }
+  [[nodiscard]] Model& model() { return model_; }
+  [[nodiscard]] const TrainerConfig& config() const { return cfg_; }
+
+ private:
+  void inject_pre_deployment();
+  /// BIST (or ground-truth) survey into the density map; returns cycles.
+  std::uint64_t survey();
+  /// Rebuild + install fault views on every faultable layer.
+  void refresh_fault_views();
+  PolicyContext make_context(std::size_t epoch);
+
+  TrainerConfig cfg_;
+  Rng rng_;
+  std::vector<float> layer_w_max_;  ///< current conductance full-scale
+  TrainTest data_;
+  Model model_;
+  std::vector<FaultableLayer*> layers_;
+  std::unique_ptr<Rcs> rcs_;
+  std::unique_ptr<WeightMapper> mapper_;
+  std::unique_ptr<FaultInjector> injector_;
+  PolicyPtr policy_;
+  FaultDensityMap density_;
+  BistController bist_;
+
+  // Baseline-policy inputs.
+  std::vector<Tensor> initial_weights_;
+  std::vector<Tensor> grad_importance_;
+};
+
+/// Convenience wrapper: construct + run.
+TrainResult train_with_faults(const TrainerConfig& cfg);
+
+/// Bench-calibrated configuration for a model of the zoo: 8 epochs over
+/// the 256-sample scaled dataset, with a per-model learning rate (the
+/// deepest plain VGG needs a gentler rate at the scaled width).
+TrainerConfig recommended_config(const std::string& model);
+
+/// Shared env-var scaling for benches: applies REMAPD_EPOCHS /
+/// REMAPD_TRAIN / REMAPD_TEST overrides to a config.
+void apply_env_overrides(TrainerConfig& cfg);
+
+}  // namespace remapd

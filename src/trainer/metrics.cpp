@@ -1,0 +1,32 @@
+#include "trainer/metrics.hpp"
+
+#include "nn/loss.hpp"
+
+namespace remapd {
+
+double evaluate_accuracy(Model& model, const Dataset& data,
+                         std::size_t batch_size) {
+  const std::size_t n = data.size();
+  if (n == 0) return 0.0;
+  const Shape& s = data.images.shape();
+  const std::size_t sample_elems = s[1] * s[2] * s[3];
+
+  std::size_t correct = 0;
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, n);
+    const std::size_t bn = end - begin;
+    Tensor batch(Shape{bn, s[1], s[2], s[3]});
+    std::vector<std::int32_t> labels(bn);
+    for (std::size_t k = 0; k < bn; ++k) {
+      const float* from = data.images.data() + (begin + k) * sample_elems;
+      float* to = batch.data() + k * sample_elems;
+      for (std::size_t e = 0; e < sample_elems; ++e) to[e] = from[e];
+      labels[k] = data.labels[begin + k];
+    }
+    const Tensor logits = model.forward(batch, /*train=*/false);
+    correct += count_correct(logits, labels);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace remapd

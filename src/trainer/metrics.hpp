@@ -1,0 +1,41 @@
+// Evaluation helpers and per-epoch training records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/registry.hpp"
+
+namespace remapd {
+
+/// Top-1 accuracy of `model` on `data`, evaluated in inference mode through
+/// the (possibly faulted) forward path.
+double evaluate_accuracy(Model& model, const Dataset& data,
+                         std::size_t batch_size = 64);
+
+struct EpochRecord {
+  std::size_t epoch = 0;
+  float train_loss = 0.0f;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  std::size_t remaps = 0;            ///< task swaps this epoch
+  double mean_density_est = 0.0;     ///< BIST view of the RCS
+  double max_density_est = 0.0;
+  std::size_t total_faults = 0;      ///< ground truth faulty cells
+  std::uint64_t bist_cycles = 0;     ///< ReRAM cycles of the epoch's survey
+};
+
+struct TrainResult {
+  std::string model;
+  std::string policy;
+  std::string dataset;
+  std::vector<EpochRecord> history;
+  double final_test_accuracy = 0.0;
+  std::size_t total_remaps = 0;
+  double policy_area_overhead_percent = 0.0;
+
+  [[nodiscard]] const EpochRecord& last() const { return history.back(); }
+};
+
+}  // namespace remapd

@@ -1,0 +1,26 @@
+#include "trainer/timing_model.hpp"
+
+namespace remapd {
+
+EpochTiming estimate_epoch_timing(const PipelineTimingConfig& cfg) {
+  EpochTiming t;
+  // Pipelined streaming: one image enters every initiation interval; the
+  // pipeline drains once per epoch.
+  t.compute_cycles =
+      static_cast<std::uint64_t>(cfg.images_per_epoch) *
+          cfg.mvm_interval_cycles +
+      static_cast<std::uint64_t>(cfg.pipeline_stages) *
+          cfg.mvm_interval_cycles;
+  // Weight updates: all crossbars write in parallel at each batch boundary
+  // (the pipeline stalls for the row-by-row write).
+  const std::size_t batches =
+      (cfg.images_per_epoch + cfg.batch_size - 1) / cfg.batch_size;
+  t.write_cycles =
+      static_cast<std::uint64_t>(batches) * cfg.weight_write_cycles;
+  t.total_cycles = t.compute_cycles + t.write_cycles;
+  t.milliseconds = static_cast<double>(t.total_cycles) * cfg.reram_cycle_ns /
+                   1e6;
+  return t;
+}
+
+}  // namespace remapd

@@ -1,0 +1,49 @@
+// Pipeline timing model of CNN training on the RCS, in ReRAM cycles — the
+// denominator behind the paper's 0.13 % BIST overhead claim (§III.B.3,
+// "considering full system evaluation [3], [14]").
+//
+// PipeLayer-style execution: the layers form a pipeline over crossbar MVMs;
+// images stream through at the initiation interval of the slowest stage
+// (a handful of ReRAM cycles — the analog MVM plus its column-serialized
+// ADC readout at the 120x faster CMOS clock), and each batch boundary
+// pays a row-by-row weight-update write. BIST runs once per epoch on every
+// IMA in parallel, so its cost is one crossbar's test sequence.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace remapd {
+
+struct PipelineTimingConfig {
+  double reram_cycle_ns = 100.0;   ///< 10 MHz array clock [13], [18]
+  std::size_t images_per_epoch = 50000;   ///< CIFAR-scale epoch
+  std::size_t batch_size = 128;
+  /// Initiation interval of the pipeline in ReRAM cycles: analog MVM (1) +
+  /// ADC/S&A readout and forwarding (2; the 1.2 GHz CMOS periphery
+  /// amortizes its ~128 conversions inside these cycles [13]).
+  std::size_t mvm_interval_cycles = 3;
+  /// Pipeline depth in stages (forward + backward tasks of the model).
+  std::size_t pipeline_stages = 36;
+  /// Row-by-row weight write per batch boundary [18].
+  std::size_t weight_write_cycles = 128;
+};
+
+struct EpochTiming {
+  std::uint64_t compute_cycles = 0;  ///< streaming MVMs (pipelined)
+  std::uint64_t write_cycles = 0;    ///< per-batch weight updates
+  std::uint64_t total_cycles = 0;
+  double milliseconds = 0.0;
+
+  [[nodiscard]] double overhead_percent(std::uint64_t extra_cycles) const {
+    return total_cycles
+               ? 100.0 * static_cast<double>(extra_cycles) /
+                     static_cast<double>(total_cycles)
+               : 0.0;
+  }
+};
+
+/// Estimate one training epoch's duration in ReRAM cycles.
+EpochTiming estimate_epoch_timing(const PipelineTimingConfig& cfg);
+
+}  // namespace remapd

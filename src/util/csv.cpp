@@ -1,0 +1,29 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  std::string line;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i) line += ',';
+    line += cols[i];
+  }
+  write_line(line);
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  buffer_ += line;
+  buffer_ += '\n';
+  if (to_file_) {
+    file_ << line << '\n';
+    file_.flush();
+  }
+}
+
+}  // namespace remapd

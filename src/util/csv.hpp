@@ -1,0 +1,43 @@
+// Minimal CSV writer for bench outputs — each bench emits the rows/series of
+// the paper figure it regenerates both to stdout (human readable) and,
+// optionally, to a CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace remapd {
+
+/// Append-style CSV writer. Writes a header once, then rows. All cells are
+/// stringified with operator<<.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  /// In-memory only (dump() retrieves contents); used by tests.
+  CsvWriter() = default;
+
+  void header(const std::vector<std::string>& cols);
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::ostringstream os;
+    bool first = true;
+    ((os << (first ? "" : ",") << cells, first = false), ...);
+    write_line(os.str());
+  }
+
+  /// Contents accumulated so far (also valid when writing to a file).
+  [[nodiscard]] const std::string& dump() const { return buffer_; }
+
+ private:
+  void write_line(const std::string& line);
+
+  std::ofstream file_;
+  bool to_file_ = false;
+  std::string buffer_;
+};
+
+}  // namespace remapd

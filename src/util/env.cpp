@@ -1,0 +1,30 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace remapd {
+
+int env_int(const std::string& name, int def) {
+  const char* v = std::getenv(name.c_str());
+  if (!v) return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return def;
+  return static_cast<int>(parsed);
+}
+
+double env_double(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (!v) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return def;
+  return parsed;
+}
+
+std::string env_str(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  return v ? std::string(v) : def;
+}
+
+}  // namespace remapd

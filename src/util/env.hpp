@@ -1,0 +1,24 @@
+// Environment-variable configuration knobs. The paper trains full-size CNNs
+// for 50 epochs on a GPU; our CPU reproduction runs scaled variants whose
+// size can be tuned without recompiling:
+//
+//   REMAPD_EPOCHS  override training epochs for benches (default per-bench)
+//   REMAPD_TRAIN   override number of training samples
+//   REMAPD_TEST    override number of test samples
+//   REMAPD_LOG     log level (debug|info|warn|error)
+#pragma once
+
+#include <string>
+
+namespace remapd {
+
+/// Integer env var with default; malformed values fall back to `def`.
+int env_int(const std::string& name, int def);
+
+/// Double env var with default.
+double env_double(const std::string& name, double def);
+
+/// String env var with default.
+std::string env_str(const std::string& name, const std::string& def);
+
+}  // namespace remapd

@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace remapd {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("REMAPD_LOG");
+  if (!env) return LogLevel::kInfo;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& level_ref() {
+  static LogLevel lvl = initial_level();
+  return lvl;
+}
+
+const char* level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+void set_log_level(LogLevel lvl) { level_ref() = lvl; }
+
+void log_message(LogLevel lvl, const std::string& msg) {
+  if (lvl < level_ref()) return;
+  std::cerr << "[remapd " << level_tag(lvl) << "] " << msg << '\n';
+}
+
+}  // namespace remapd

@@ -1,0 +1,47 @@
+// Leveled logging to stderr. Benches keep stdout clean for result tables and
+// route progress chatter here.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace remapd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level (default Info; REMAPD_LOG=debug|info|warn|error).
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+void log_message(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  log_message(LogLevel::kError, detail::concat(parts...));
+}
+
+}  // namespace remapd

@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace remapd {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // For small k relative to n, rejection sampling is cheaper than a full
+  // permutation; otherwise shuffle a dense index array and truncate.
+  if (k * 3 < n) {
+    std::unordered_set<std::size_t> chosen;
+    chosen.reserve(k * 2);
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      const auto idx = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (chosen.insert(idx).second) out.push_back(idx);
+    }
+    return out;
+  }
+  auto perm = permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), gen_);
+  return idx;
+}
+
+}  // namespace remapd

@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace remapd {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean_of(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size");
+  if (xs.empty()) return 0.0;
+  const double mx = mean_of(xs), my = mean_of(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("linear_fit: bad sizes");
+  const double mx = mean_of(xs), my = mean_of(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  LinearFit f;
+  if (sxx > 0.0) {
+    f.slope = sxy / sxx;
+    f.intercept = my - f.slope * mx;
+  } else {
+    f.slope = 0.0;
+    f.intercept = my;
+  }
+  return f;
+}
+
+}  // namespace remapd

@@ -1,0 +1,46 @@
+// Small online/offline statistics helpers used by benches and the NoC
+// Monte Carlo harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace remapd {
+
+/// Welford-style online accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& xs);
+
+/// Population standard deviation of a vector.
+double stddev_of(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Linear least-squares fit y = a*x + b; returns {a, b}.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+}  // namespace remapd

@@ -1,0 +1,12 @@
+#include "xbar/cell.hpp"
+
+// CellParams is header-only; this translation unit pins compile-time
+// consistency checks for the electrical constants from [4].
+
+namespace remapd {
+
+static_assert(static_cast<int>(CellFault::kNone) == 0);
+static_assert(sizeof(CellFault) == 1, "fault flags are stored per cell");
+static_assert(sizeof(PairHalf) == 1);
+
+}  // namespace remapd

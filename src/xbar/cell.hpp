@@ -1,0 +1,56 @@
+// ReRAM cell model. Electrical parameters follow Grossi et al. [4] (the
+// fault-behaviour reference the paper uses): a healthy cell switches between
+// R_on (LRS) and R_off (HRS); a stuck-at-1 cell is pinned at a low
+// resistance in [1.5 kΩ, 3 kΩ]; a stuck-at-0 cell is pinned at a high
+// resistance in [0.8 MΩ, 3 MΩ].
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace remapd {
+
+enum class CellFault : std::uint8_t {
+  kNone = 0,
+  kStuckAt0 = 1,  ///< open-ish: pinned at high resistance
+  kStuckAt1 = 2,  ///< short-ish: pinned at low resistance
+};
+
+/// Electrical constants of the ReRAM technology.
+struct CellParams {
+  double r_on = 1.0e4;    ///< LRS resistance (Ω), logic "1"
+  double r_off = 1.0e6;   ///< HRS resistance (Ω), logic "0"
+  double sa1_r_lo = 1.5e3;  ///< stuck-at-1 resistance band [4]
+  double sa1_r_hi = 3.0e3;
+  double sa0_r_lo = 0.8e6;  ///< stuck-at-0 resistance band [4]
+  double sa0_r_hi = 3.0e6;
+  double read_voltage = 0.3;  ///< BIST read voltage (V)
+
+  /// Sample a stuck resistance for a fault of the given type.
+  [[nodiscard]] double sample_stuck_resistance(CellFault f, Rng& rng) const {
+    switch (f) {
+      case CellFault::kStuckAt1: return rng.uniform(sa1_r_lo, sa1_r_hi);
+      case CellFault::kStuckAt0: return rng.uniform(sa0_r_lo, sa0_r_hi);
+      case CellFault::kNone: break;
+    }
+    return r_off;
+  }
+
+  /// Nominal (mid-band) stuck resistance, used by BIST calibration.
+  [[nodiscard]] double nominal_stuck_resistance(CellFault f) const {
+    switch (f) {
+      case CellFault::kStuckAt1: return 0.5 * (sa1_r_lo + sa1_r_hi);
+      case CellFault::kStuckAt0: return 0.5 * (sa0_r_lo + sa0_r_hi);
+      case CellFault::kNone: break;
+    }
+    return r_off;
+  }
+};
+
+/// Which device of the differential weight pair a fault hits. The mapper
+/// stores each logical weight as a (G+, G-) pair; the fault injector tags
+/// every fault with the half it lands in.
+enum class PairHalf : std::uint8_t { kPositive = 0, kNegative = 1 };
+
+}  // namespace remapd

@@ -1,0 +1,114 @@
+#include "xbar/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace remapd {
+
+Crossbar::Crossbar(std::size_t rows, std::size_t cols, CellParams params)
+    : rows_(rows), cols_(cols), params_(params),
+      faults_(rows * cols, CellFault::kNone),
+      halves_(rows * cols, PairHalf::kPositive),
+      stuck_r_(rows * cols, params.r_off) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("Crossbar: zero dimension");
+}
+
+bool Crossbar::inject_fault(std::size_t r, std::size_t c, CellFault type,
+                            Rng& rng) {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("Crossbar::inject_fault");
+  if (type == CellFault::kNone) return false;
+  CellFault& f = faults_[r * cols_ + c];
+  if (f != CellFault::kNone) return false;
+  f = type;
+  halves_[r * cols_ + c] =
+      rng.bernoulli(0.5) ? PairHalf::kPositive : PairHalf::kNegative;
+  stuck_r_[r * cols_ + c] = params_.sample_stuck_resistance(type, rng);
+  ++fault_count_;
+  return true;
+}
+
+std::size_t Crossbar::inject_random_faults(std::size_t count,
+                                           double sa0_fraction, Rng& rng) {
+  const std::size_t healthy = cell_count() - fault_count_;
+  count = std::min(count, healthy);
+  std::size_t injected = 0;
+  // Rejection sampling over cells; fault densities in the paper are <= a few
+  // percent, so collisions are rare.
+  while (injected < count) {
+    const auto r = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(rows_) - 1));
+    const auto c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cols_) - 1));
+    const CellFault type = rng.bernoulli(sa0_fraction) ? CellFault::kStuckAt0
+                                                       : CellFault::kStuckAt1;
+    if (inject_fault(r, c, type, rng)) ++injected;
+  }
+  return injected;
+}
+
+std::size_t Crossbar::inject_clustered_faults(std::size_t count,
+                                              double sa0_fraction,
+                                              std::size_t clusters,
+                                              Rng& rng) {
+  if (clusters == 0) clusters = 1;
+  const std::size_t healthy = cell_count() - fault_count_;
+  count = std::min(count, healthy);
+
+  // Two thirds of the faults gather around cluster centers (c.f. [16]);
+  // the rest are uniform background defects.
+  const std::size_t clustered = count * 2 / 3;
+  std::size_t injected = inject_random_faults(count - clustered,
+                                              sa0_fraction, rng);
+
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(clusters);
+  for (std::size_t k = 0; k < clusters; ++k)
+    centers.emplace_back(rng.uniform(0.0, static_cast<double>(rows_)),
+                         rng.uniform(0.0, static_cast<double>(cols_)));
+  const double sigma =
+      std::max(1.0, std::sqrt(static_cast<double>(cell_count())) / 16.0);
+
+  std::size_t placed = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = clustered * 64 + 256;
+  while (placed < clustered && attempts++ < max_attempts) {
+    const auto& ctr = centers[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(clusters) - 1))];
+    const double rr = ctr.first + rng.normal(0.0, sigma);
+    const double cc = ctr.second + rng.normal(0.0, sigma);
+    if (rr < 0 || cc < 0 || rr >= static_cast<double>(rows_) ||
+        cc >= static_cast<double>(cols_))
+      continue;
+    const CellFault type = rng.bernoulli(sa0_fraction) ? CellFault::kStuckAt0
+                                                       : CellFault::kStuckAt1;
+    if (inject_fault(static_cast<std::size_t>(rr),
+                     static_cast<std::size_t>(cc), type, rng))
+      ++placed;
+  }
+  // Fall back to uniform placement if cluster sampling saturated locally.
+  if (placed < clustered)
+    placed += inject_random_faults(clustered - placed, sa0_fraction, rng);
+  return injected + placed;
+}
+
+std::size_t Crossbar::fault_count(CellFault type) const {
+  std::size_t n = 0;
+  for (CellFault f : faults_)
+    if (f == type) ++n;
+  return n;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Crossbar::faulty_cells()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(fault_count_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (faults_[r * cols_ + c] != CellFault::kNone) out.emplace_back(r, c);
+  return out;
+}
+
+}  // namespace remapd

@@ -1,0 +1,78 @@
+// A single ReRAM crossbar array: the RCS's basic MVM unit (128x128 in the
+// paper). The crossbar tracks per-cell permanent fault state (with sampled
+// stuck resistances for the analog model), cumulative write counts (for the
+// endurance narrative), and exposes the fault queries the BIST and the
+// remapping policies need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "xbar/cell.hpp"
+
+namespace remapd {
+
+class Crossbar {
+ public:
+  Crossbar(std::size_t rows, std::size_t cols, CellParams params = {});
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t cell_count() const { return rows_ * cols_; }
+  [[nodiscard]] const CellParams& params() const { return params_; }
+
+  [[nodiscard]] CellFault fault_at(std::size_t r, std::size_t c) const {
+    return faults_[r * cols_ + c];
+  }
+  [[nodiscard]] PairHalf fault_half_at(std::size_t r, std::size_t c) const {
+    return halves_[r * cols_ + c];
+  }
+  /// Stuck resistance of a faulty cell; r_off for healthy cells.
+  [[nodiscard]] double stuck_resistance_at(std::size_t r,
+                                           std::size_t c) const {
+    return stuck_r_[r * cols_ + c];
+  }
+
+  /// Mark a cell faulty (idempotent; an existing fault is not re-typed).
+  /// Returns true if the cell was newly marked.
+  bool inject_fault(std::size_t r, std::size_t c, CellFault type, Rng& rng);
+
+  /// Inject approximately `count` new faults at distinct healthy cells,
+  /// SA0:SA1 in the given ratio, uniformly at random. Returns the number
+  /// actually injected (saturates when the array runs out of healthy cells).
+  std::size_t inject_random_faults(std::size_t count, double sa0_fraction,
+                                   Rng& rng);
+
+  /// Clustered injection: faults are spread around `clusters` random
+  /// centers with geometric radius decay — modelling the defect clustering
+  /// of [16] where ~2/3 of fabrication faults are spatially clustered.
+  std::size_t inject_clustered_faults(std::size_t count, double sa0_fraction,
+                                      std::size_t clusters, Rng& rng);
+
+  [[nodiscard]] std::size_t fault_count() const { return fault_count_; }
+  [[nodiscard]] std::size_t fault_count(CellFault type) const;
+  /// Ground-truth fault density in [0, 1].
+  [[nodiscard]] double fault_density() const {
+    return static_cast<double>(fault_count_) /
+           static_cast<double>(cell_count());
+  }
+
+  /// All faulty cells as (row, col) pairs.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  faulty_cells() const;
+
+  /// Account writes (one full-array weight update or BIST write pass).
+  void record_array_write() { ++array_writes_; }
+  [[nodiscard]] std::size_t array_writes() const { return array_writes_; }
+
+ private:
+  std::size_t rows_, cols_;
+  CellParams params_;
+  std::vector<CellFault> faults_;
+  std::vector<PairHalf> halves_;
+  std::vector<double> stuck_r_;
+  std::size_t fault_count_ = 0;
+  std::size_t array_writes_ = 0;
+};
+
+}  // namespace remapd

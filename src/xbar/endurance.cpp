@@ -1,0 +1,50 @@
+#include "xbar/endurance.hpp"
+
+#include <cmath>
+
+namespace remapd {
+
+double EnduranceModel::failure_cdf(double writes) const {
+  if (writes <= 0.0) return 0.0;
+  return 1.0 -
+         std::exp(-std::pow(writes / cfg_.characteristic_writes,
+                            cfg_.weibull_shape));
+}
+
+double EnduranceModel::interval_failure_probability(double w0,
+                                                    double w1) const {
+  const double s0 = 1.0 - failure_cdf(w0);
+  if (s0 <= 0.0) return 1.0;
+  const double s1 = 1.0 - failure_cdf(w1);
+  return 1.0 - s1 / s0;
+}
+
+std::size_t EnduranceModel::advance_epoch(Rcs& rcs, Rng& rng) {
+  if (writes_seen_.size() != rcs.total_crossbars())
+    writes_seen_.assign(rcs.total_crossbars(), 0);
+
+  std::size_t injected = 0;
+  for (XbarId id = 0; id < rcs.total_crossbars(); ++id) {
+    Crossbar& xb = rcs.crossbar(id);
+    const std::size_t w1 = xb.array_writes();
+    const std::size_t w0 = writes_seen_[id];
+    writes_seen_[id] = w1;
+    if (w1 <= w0) continue;
+
+    const double p = interval_failure_probability(static_cast<double>(w0),
+                                                  static_cast<double>(w1));
+    if (p <= 0.0) continue;
+    const std::size_t healthy = xb.cell_count() - xb.fault_count();
+    // Binomial draw via per-cell Bernoulli is O(cells); for the small p of
+    // interest a normal/Poisson shortcut suffices and keeps determinism.
+    const double expected = p * static_cast<double>(healthy);
+    double draw = expected + rng.normal() * std::sqrt(std::max(
+                                 expected * (1.0 - p), 0.0));
+    if (draw < 0.0) draw = 0.0;
+    const auto count = static_cast<std::size_t>(std::llround(draw));
+    injected += xb.inject_random_faults(count, cfg_.sa0_fraction, rng);
+  }
+  return injected;
+}
+
+}  // namespace remapd

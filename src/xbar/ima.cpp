@@ -1,0 +1,26 @@
+#include "xbar/ima.hpp"
+
+namespace remapd {
+
+Ima::Ima(std::size_t num_crossbars, std::size_t xbar_rows,
+         std::size_t xbar_cols, CellParams params) {
+  xbars_.reserve(num_crossbars);
+  for (std::size_t i = 0; i < num_crossbars; ++i)
+    xbars_.emplace_back(xbar_rows, xbar_cols, params);
+  // ISAAC-style sharing: a DAC per row, an 8-bit ADC per crossbar, a sample
+  // and hold per column, one shift-and-add tree per crossbar.
+  periph_.dacs = num_crossbars * xbar_rows;
+  periph_.adcs = num_crossbars;
+  periph_.sample_holds = num_crossbars * xbar_cols;
+  periph_.shift_add_units = num_crossbars;
+  periph_.io_register_bits = num_crossbars * (xbar_rows + xbar_cols) * 16;
+}
+
+double Ima::mean_fault_density() const {
+  if (xbars_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& xb : xbars_) s += xb.fault_density();
+  return s / static_cast<double>(xbars_.size());
+}
+
+}  // namespace remapd

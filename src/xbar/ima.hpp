@@ -1,0 +1,44 @@
+// In-situ multiply-accumulate (IMA) unit: a group of crossbars sharing
+// input/output registers, DACs, S&H, ADCs, shift-and-add units — and, in
+// this work, one BIST module (Fig. 1 / Fig. 2). The peripheral inventory
+// feeds the area model; the crossbars carry the fault state.
+#pragma once
+
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace remapd {
+
+/// Peripheral inventory of one IMA (counts used by the area model).
+struct ImaPeripherals {
+  std::size_t dacs;            ///< one per crossbar row
+  std::size_t adcs;            ///< shared across columns (ISAAC-style)
+  std::size_t sample_holds;    ///< one per crossbar column
+  std::size_t shift_add_units;
+  std::size_t io_register_bits;
+  bool has_bist = true;        ///< the paper adds one BIST per IMA
+};
+
+class Ima {
+ public:
+  Ima(std::size_t num_crossbars, std::size_t xbar_rows, std::size_t xbar_cols,
+      CellParams params = {});
+
+  [[nodiscard]] std::size_t size() const { return xbars_.size(); }
+  Crossbar& crossbar(std::size_t i) { return xbars_.at(i); }
+  [[nodiscard]] const Crossbar& crossbar(std::size_t i) const {
+    return xbars_.at(i);
+  }
+
+  [[nodiscard]] const ImaPeripherals& peripherals() const { return periph_; }
+
+  /// Mean ground-truth fault density over the IMA's crossbars.
+  [[nodiscard]] double mean_fault_density() const;
+
+ private:
+  std::vector<Crossbar> xbars_;
+  ImaPeripherals periph_{};
+};
+
+}  // namespace remapd

@@ -1,0 +1,134 @@
+#include "xbar/mapper.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+namespace {
+
+WeightClampKind clamp_kind(CellFault fault, PairHalf half) {
+  if (fault == CellFault::kStuckAt0)
+    return half == PairHalf::kPositive ? WeightClampKind::kPosStuck0
+                                       : WeightClampKind::kNegStuck0;
+  return half == PairHalf::kPositive ? WeightClampKind::kPosStuck1
+                                     : WeightClampKind::kNegStuck1;
+}
+
+}  // namespace
+
+WeightMapper::WeightMapper(Rcs& rcs) : rcs_(&rcs) {
+  if (rcs.config().xbar_rows != rcs.config().xbar_cols)
+    throw std::invalid_argument("WeightMapper: crossbars must be square");
+}
+
+void WeightMapper::map_layers(
+    const std::vector<std::pair<std::size_t, std::size_t>>& layer_dims) {
+  tasks_.clear();
+  layer_dims_ = layer_dims;
+  const std::size_t s = rcs_->config().xbar_rows;
+
+  auto tile_matrix = [&](std::size_t layer, Phase phase, std::size_t rows,
+                         std::size_t cols) {
+    for (std::size_t r0 = 0; r0 < rows; r0 += s)
+      for (std::size_t c0 = 0; c0 < cols; c0 += s)
+        tasks_.push_back(WeightBlock{layer, phase, r0, c0,
+                                     std::min(s, rows - r0),
+                                     std::min(s, cols - c0)});
+  };
+
+  for (std::size_t l = 0; l < layer_dims.size(); ++l)
+    tile_matrix(l, Phase::kForward, layer_dims[l].first,
+                layer_dims[l].second);
+  for (std::size_t l = 0; l < layer_dims.size(); ++l)
+    // Backward copy stores W^T: tiled over the transposed dimensions.
+    tile_matrix(l, Phase::kBackward, layer_dims[l].second,
+                layer_dims[l].first);
+
+  if (tasks_.size() > rcs_->total_crossbars())
+    throw std::runtime_error(
+        "WeightMapper: RCS too small: " + std::to_string(tasks_.size()) +
+        " tasks > " + std::to_string(rcs_->total_crossbars()) +
+        " crossbars");
+
+  task_to_xbar_.resize(tasks_.size());
+  xbar_to_task_.assign(rcs_->total_crossbars(), kNoTask);
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    task_to_xbar_[t] = t;  // identity initial placement
+    xbar_to_task_[t] = t;
+  }
+}
+
+void WeightMapper::swap_tasks(TaskId a, XbarId target_xbar) {
+  const XbarId src = task_to_xbar_.at(a);
+  const TaskId other = xbar_to_task_.at(target_xbar);
+  task_to_xbar_[a] = target_xbar;
+  xbar_to_task_[target_xbar] = a;
+  xbar_to_task_[src] = other;
+  if (other != kNoTask) task_to_xbar_[other] = src;
+}
+
+std::vector<XbarId> WeightMapper::xbars_of_phase(Phase p) const {
+  std::vector<XbarId> out;
+  for (TaskId t = 0; t < tasks_.size(); ++t)
+    if (tasks_[t].phase == p) out.push_back(task_to_xbar_[t]);
+  return out;
+}
+
+std::vector<XbarId> WeightMapper::mapped_xbars() const {
+  std::vector<XbarId> out;
+  out.reserve(tasks_.size());
+  for (TaskId t = 0; t < tasks_.size(); ++t) out.push_back(task_to_xbar_[t]);
+  return out;
+}
+
+FaultView WeightMapper::build_fault_view(std::size_t layer, Phase phase,
+                                         float w_max,
+                                         MappingMode mode) const {
+  FaultView view;
+  view.w_max = w_max;
+  view.mode = mode;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const WeightBlock& blk = tasks_[t];
+    if (blk.layer != layer || blk.phase != phase) continue;
+    const Crossbar& xb = rcs_->crossbar(task_to_xbar_[t]);
+
+    // Layer weight matrix is R x C. Crossbar cell (i, j) holds stored
+    // matrix element (blk.row0 + j, blk.col0 + i): matrix columns map onto
+    // crossbar rows (inputs) and matrix rows onto crossbar columns
+    // (outputs). The stored matrix is W for forward tasks and W^T for
+    // backward tasks; the clamp index always addresses W's flat layout, so
+    // the backward view transposes back.
+    for (const auto& [r, c] : xb.faulty_cells()) {
+      if (r >= blk.cols || c >= blk.rows) continue;  // outside occupancy
+      const std::size_t stored_row = blk.row0 + c;
+      const std::size_t stored_col = blk.col0 + r;
+      std::size_t w_row, w_col;
+      if (phase == Phase::kForward) {
+        w_row = stored_row;
+        w_col = stored_col;
+      } else {
+        w_row = stored_col;
+        w_col = stored_row;
+      }
+      view.clamps.push_back(WeightClamp{
+          static_cast<std::uint32_t>(w_row * layer_dims_[layer].second +
+                                     w_col),
+          clamp_kind(xb.fault_at(r, c), xb.fault_half_at(r, c))});
+    }
+  }
+  return view;
+}
+
+std::size_t WeightMapper::effective_fault_count(TaskId t) const {
+  const WeightBlock& blk = tasks_.at(t);
+  const Crossbar& xb = rcs_->crossbar(task_to_xbar_.at(t));
+  std::size_t n = 0;
+  for (const auto& [r, c] : xb.faulty_cells())
+    if (r < blk.cols && c < blk.rows) ++n;
+  return n;
+}
+
+void WeightMapper::record_weight_update() {
+  for (XbarId x : mapped_xbars()) rcs_->crossbar(x).record_array_write();
+}
+
+}  // namespace remapd

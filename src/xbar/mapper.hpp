@@ -1,0 +1,118 @@
+// WeightMapper: tiles every layer's weight matrix into crossbar-sized
+// blocks and assigns each block ("task") to a physical crossbar of the RCS.
+//
+// Training accelerators in the PipeLayer/ISAAC family keep two physical
+// copies of each weight block: the forward copy (computes y = W x) and the
+// backward copy (stores W^T, computes dx = W^T dy). Both are tasks in the
+// paper's sense — "the computations associated with a CNN layer which are
+// executed on a ReRAM crossbar" — and both are mapped here, to distinct
+// crossbars.
+//
+// The mapper owns the task->crossbar assignment (mutable: remapping swaps
+// it) and builds the per-layer FaultViews that couple each physical
+// crossbar's stuck cells into the layer arithmetic (see nn/fault_view.hpp).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nn/fault_view.hpp"
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+
+enum class Phase : std::uint8_t { kForward = 0, kBackward = 1 };
+
+[[nodiscard]] constexpr const char* phase_name(Phase p) {
+  return p == Phase::kForward ? "forward" : "backward";
+}
+
+using TaskId = std::size_t;
+constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
+
+/// One crossbar-sized block of a layer's (possibly transposed) weights.
+struct WeightBlock {
+  std::size_t layer;   ///< index into the model's faultable-layer list
+  Phase phase;
+  std::size_t row0, col0;  ///< offset in the stored matrix (W or W^T)
+  std::size_t rows, cols;  ///< extent (<= crossbar dimensions)
+};
+
+/// Whether a block covers element (w_row, w_col) of the layer's weight
+/// matrix W (accounting for the transposed storage of backward blocks).
+[[nodiscard]] constexpr bool block_covers(const WeightBlock& blk,
+                                          std::size_t w_row,
+                                          std::size_t w_col) {
+  if (blk.phase == Phase::kForward)
+    return w_row >= blk.row0 && w_row < blk.row0 + blk.rows &&
+           w_col >= blk.col0 && w_col < blk.col0 + blk.cols;
+  return w_row >= blk.col0 && w_row < blk.col0 + blk.cols &&
+         w_col >= blk.row0 && w_col < blk.row0 + blk.rows;
+}
+
+class WeightMapper {
+ public:
+  /// `rcs` must outlive the mapper; crossbars must be square.
+  explicit WeightMapper(Rcs& rcs);
+
+  /// Tile `layer_dims[i] = (rows, cols)` of every faultable layer into
+  /// forward + backward tasks and assign them to crossbars in id order.
+  /// Throws if the RCS has fewer crossbars than tasks.
+  void map_layers(const std::vector<std::pair<std::size_t, std::size_t>>&
+                      layer_dims);
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] const WeightBlock& task(TaskId t) const {
+    return tasks_.at(t);
+  }
+  [[nodiscard]] XbarId xbar_of(TaskId t) const { return task_to_xbar_.at(t); }
+  /// Task currently on a crossbar, or kNoTask when idle.
+  [[nodiscard]] TaskId task_on(XbarId x) const { return xbar_to_task_.at(x); }
+
+  /// Exchange the crossbars of two tasks, or move a task to an idle
+  /// crossbar (the remapping primitive — Fig. 3(c) weight exchange).
+  void swap_tasks(TaskId a, XbarId target_xbar);
+
+  /// Crossbar ids currently holding tasks of a phase.
+  [[nodiscard]] std::vector<XbarId> xbars_of_phase(Phase p) const;
+  /// All crossbar ids holding any task.
+  [[nodiscard]] std::vector<XbarId> mapped_xbars() const;
+
+  /// Union of fault clamps over all blocks of `layer` in `phase`, using
+  /// each block's currently assigned crossbar. `w_max` is the layer's
+  /// conductance full-scale (typically max |w| at write time).
+  [[nodiscard]] FaultView build_fault_view(
+      std::size_t layer, Phase phase, float w_max,
+      MappingMode mode = MappingMode::kSingleArrayBias) const;
+
+  /// Ground-truth fault count that lands inside the occupied extent of the
+  /// crossbar currently holding `t` (the portion that perturbs weights).
+  [[nodiscard]] std::size_t effective_fault_count(TaskId t) const;
+
+  /// Hop distance (tile Manhattan) between the tiles of two crossbars.
+  [[nodiscard]] std::size_t hop_distance(XbarId a, XbarId b) const {
+    return rcs_->tile_distance(rcs_->tile_of(a), rcs_->tile_of(b));
+  }
+
+  /// Account one weight-update write pass on every mapped crossbar
+  /// (endurance bookkeeping driving post-deployment wear-out bias).
+  void record_weight_update();
+
+  [[nodiscard]] Rcs& rcs() { return *rcs_; }
+  [[nodiscard]] const Rcs& rcs() const { return *rcs_; }
+
+  /// Dimensions (rows, cols) of layer `l`'s weight matrix as mapped.
+  [[nodiscard]] const std::pair<std::size_t, std::size_t>& layer_dims(
+      std::size_t l) const {
+    return layer_dims_.at(l);
+  }
+
+ private:
+  Rcs* rcs_;
+  std::vector<std::pair<std::size_t, std::size_t>> layer_dims_;
+  std::vector<WeightBlock> tasks_;
+  std::vector<XbarId> task_to_xbar_;
+  std::vector<TaskId> xbar_to_task_;
+};
+
+}  // namespace remapd

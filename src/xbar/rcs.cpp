@@ -1,0 +1,70 @@
+#include "xbar/rcs.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace remapd {
+
+RcsConfig RcsConfig::sized_for(std::size_t needed_crossbars,
+                               std::size_t xbar_rows, std::size_t xbar_cols) {
+  RcsConfig cfg;
+  cfg.xbar_rows = xbar_rows;
+  cfg.xbar_cols = xbar_cols;
+  const std::size_t per_tile = cfg.xbars_per_tile();
+  std::size_t tiles = (needed_crossbars + per_tile - 1) / per_tile;
+  // The RCS is a fixed chip: small workloads run on the same silicon and
+  // leave crossbars idle. Keep at least the 4x4 tile mesh of Fig. 3 so a
+  // small model still sees a realistic pool of potential receivers.
+  if (tiles < 16) tiles = 16;
+  auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(tiles))));
+  cfg.tiles_x = side;
+  cfg.tiles_y = (tiles + side - 1) / side;
+  return cfg;
+}
+
+Rcs::Rcs(RcsConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_tiles() == 0) throw std::invalid_argument("Rcs: zero tiles");
+  tiles_.reserve(cfg_.num_tiles());
+  for (std::size_t t = 0; t < cfg_.num_tiles(); ++t)
+    tiles_.emplace_back(t, cfg_.imas_per_tile, cfg_.xbars_per_ima,
+                        cfg_.xbar_rows, cfg_.xbar_cols, cfg_.cell);
+}
+
+Crossbar& Rcs::crossbar(XbarId id) {
+  const std::size_t per_tile = cfg_.xbars_per_tile();
+  return tiles_.at(id / per_tile).crossbar(id % per_tile);
+}
+
+const Crossbar& Rcs::crossbar(XbarId id) const {
+  const std::size_t per_tile = cfg_.xbars_per_tile();
+  return tiles_.at(id / per_tile).crossbar(id % per_tile);
+}
+
+std::size_t Rcs::tile_distance(TileId a, TileId b) const {
+  const auto [ax, ay] = tile_xy(a);
+  const auto [bx, by] = tile_xy(b);
+  const auto dx = ax > bx ? ax - bx : bx - ax;
+  const auto dy = ay > by ? ay - by : by - ay;
+  return dx + dy;
+}
+
+double Rcs::mean_fault_density() const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& t : tiles_)
+    for (std::size_t i = 0; i < t.crossbars_per_tile(); ++i, ++n)
+      s += t.crossbar(i).fault_density();
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+std::vector<double> Rcs::fault_densities() const {
+  std::vector<double> out;
+  out.reserve(total_crossbars());
+  for (XbarId id = 0; id < total_crossbars(); ++id)
+    out.push_back(crossbar(id).fault_density());
+  return out;
+}
+
+}  // namespace remapd

@@ -1,0 +1,78 @@
+// RCS: the full ReRAM crossbar-based computing system — a grid of tiles
+// (NoC endpoints), each holding IMAs of crossbars. Provides global crossbar
+// ids (the unit of fault tracking and task mapping) and the tile geometry
+// the c-mesh NoC and the remap policies use for hop-count decisions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "xbar/tile.hpp"
+
+namespace remapd {
+
+/// Global crossbar identifier.
+using XbarId = std::size_t;
+/// Tile identifier (== NoC endpoint id).
+using TileId = std::size_t;
+
+struct RcsConfig {
+  std::size_t tiles_x = 4;        ///< tile grid width
+  std::size_t tiles_y = 4;        ///< tile grid height
+  std::size_t imas_per_tile = 2;
+  std::size_t xbars_per_ima = 4;
+  std::size_t xbar_rows = 128;
+  std::size_t xbar_cols = 128;
+  CellParams cell{};
+
+  [[nodiscard]] std::size_t num_tiles() const { return tiles_x * tiles_y; }
+  [[nodiscard]] std::size_t xbars_per_tile() const {
+    return imas_per_tile * xbars_per_ima;
+  }
+  [[nodiscard]] std::size_t total_crossbars() const {
+    return num_tiles() * xbars_per_tile();
+  }
+
+  /// Smallest square-ish RCS with at least `needed` crossbars (tile grid
+  /// grows; per-tile composition preserved).
+  static RcsConfig sized_for(std::size_t needed_crossbars,
+                             std::size_t xbar_rows, std::size_t xbar_cols);
+};
+
+class Rcs {
+ public:
+  explicit Rcs(RcsConfig cfg);
+
+  [[nodiscard]] const RcsConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t num_tiles() const { return tiles_.size(); }
+  [[nodiscard]] std::size_t total_crossbars() const {
+    return cfg_.total_crossbars();
+  }
+
+  Tile& tile(TileId t) { return tiles_.at(t); }
+  [[nodiscard]] const Tile& tile(TileId t) const { return tiles_.at(t); }
+
+  Crossbar& crossbar(XbarId id);
+  [[nodiscard]] const Crossbar& crossbar(XbarId id) const;
+
+  [[nodiscard]] TileId tile_of(XbarId id) const {
+    return id / cfg_.xbars_per_tile();
+  }
+  /// Tile grid coordinates.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> tile_xy(TileId t) const {
+    return {t % cfg_.tiles_x, t / cfg_.tiles_x};
+  }
+  /// Manhattan distance between two tiles in the tile grid.
+  [[nodiscard]] std::size_t tile_distance(TileId a, TileId b) const;
+
+  /// Ground-truth mean fault density over all crossbars.
+  [[nodiscard]] double mean_fault_density() const;
+  /// Ground-truth per-crossbar densities, indexed by XbarId.
+  [[nodiscard]] std::vector<double> fault_densities() const;
+
+ private:
+  RcsConfig cfg_;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace remapd

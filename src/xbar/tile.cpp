@@ -1,0 +1,37 @@
+#include "xbar/tile.hpp"
+
+#include <stdexcept>
+
+namespace remapd {
+
+Tile::Tile(std::size_t id, std::size_t num_imas, std::size_t xbars_per_ima,
+           std::size_t xbar_rows, std::size_t xbar_cols, CellParams params)
+    : id_(id) {
+  imas_.reserve(num_imas);
+  for (std::size_t i = 0; i < num_imas; ++i)
+    imas_.emplace_back(xbars_per_ima, xbar_rows, xbar_cols, params);
+}
+
+std::size_t Tile::crossbars_per_tile() const {
+  std::size_t n = 0;
+  for (const auto& ima : imas_) n += ima.size();
+  return n;
+}
+
+Crossbar& Tile::crossbar(std::size_t local_index) {
+  for (auto& ima : imas_) {
+    if (local_index < ima.size()) return ima.crossbar(local_index);
+    local_index -= ima.size();
+  }
+  throw std::out_of_range("Tile::crossbar");
+}
+
+const Crossbar& Tile::crossbar(std::size_t local_index) const {
+  for (const auto& ima : imas_) {
+    if (local_index < ima.size()) return ima.crossbar(local_index);
+    local_index -= ima.size();
+  }
+  throw std::out_of_range("Tile::crossbar");
+}
+
+}  // namespace remapd

@@ -1,0 +1,32 @@
+// Tile: multiple IMAs plus an eDRAM buffer and CMOS functional units
+// (pooling, activation) — Fig. 1. Tiles are the NoC endpoints and the
+// granularity at which the remapping protocol exchanges messages.
+#pragma once
+
+#include <vector>
+
+#include "xbar/ima.hpp"
+
+namespace remapd {
+
+class Tile {
+ public:
+  Tile(std::size_t id, std::size_t num_imas, std::size_t xbars_per_ima,
+       std::size_t xbar_rows, std::size_t xbar_cols, CellParams params = {});
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  [[nodiscard]] std::size_t num_imas() const { return imas_.size(); }
+  Ima& ima(std::size_t i) { return imas_.at(i); }
+  [[nodiscard]] const Ima& ima(std::size_t i) const { return imas_.at(i); }
+
+  [[nodiscard]] std::size_t crossbars_per_tile() const;
+  /// Crossbar by tile-local flat index.
+  Crossbar& crossbar(std::size_t local_index);
+  [[nodiscard]] const Crossbar& crossbar(std::size_t local_index) const;
+
+ private:
+  std::size_t id_;
+  std::vector<Ima> imas_;
+};
+
+}  // namespace remapd

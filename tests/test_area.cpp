@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(AreaModel, AllComponentsPositive) {
+  RcsAreaModel model{RcsAreaConfig{}};
+  const AreaBreakdown b = model.compute();
+  EXPECT_GT(b.crossbars, 0.0);
+  EXPECT_GT(b.dacs, 0.0);
+  EXPECT_GT(b.adcs, 0.0);
+  EXPECT_GT(b.sample_holds, 0.0);
+  EXPECT_GT(b.shift_adds, 0.0);
+  EXPECT_GT(b.registers, 0.0);
+  EXPECT_GT(b.edram, 0.0);
+  EXPECT_GT(b.routers, 0.0);
+  EXPECT_GT(b.func_units, 0.0);
+  EXPECT_GT(b.bist, 0.0);
+  EXPECT_GT(b.total_with_bist(), b.total_without_bist());
+}
+
+TEST(AreaModel, BistOverheadMatchesPaperBallpark) {
+  // §IV.C reports 0.61% BIST area overhead; the calibrated component table
+  // must land in that neighbourhood.
+  RcsAreaModel model{RcsAreaConfig{}};
+  const double pct = model.compute().bist_overhead_percent();
+  EXPECT_GT(pct, 0.3);
+  EXPECT_LT(pct, 1.0);
+}
+
+TEST(AreaModel, BistIsTinyComparedToBaselines) {
+  RcsAreaModel model{RcsAreaConfig{}};
+  const double bist = model.compute().bist_overhead_percent();
+  EXPECT_LT(bist, RcsAreaModel::an_code_overhead_percent());
+  EXPECT_LT(bist, RcsAreaModel::remap_t_overhead_percent(10.0));
+  EXPECT_DOUBLE_EQ(RcsAreaModel::an_code_overhead_percent(), 6.3);
+  EXPECT_DOUBLE_EQ(RcsAreaModel::remap_t_overhead_percent(5.0), 5.0);
+}
+
+TEST(AreaModel, ScalesWithSystemSize) {
+  RcsAreaConfig small;
+  small.num_tiles = 4;
+  RcsAreaConfig big;
+  big.num_tiles = 64;
+  const double a = RcsAreaModel(small).compute().total_with_bist();
+  const double b = RcsAreaModel(big).compute().total_with_bist();
+  EXPECT_NEAR(b / a, 16.0, 1e-6);
+  // The overhead *ratio* is size-independent (BIST per IMA).
+  EXPECT_NEAR(RcsAreaModel(small).compute().bist_overhead_percent(),
+              RcsAreaModel(big).compute().bist_overhead_percent(), 1e-9);
+}
+
+TEST(AreaModel, ReportListsEveryComponent) {
+  RcsAreaModel model{RcsAreaConfig{}};
+  const auto rows = model.report();
+  EXPECT_EQ(rows.size(), 10u);
+  double sum = 0.0;
+  for (const auto& [name, um2] : rows) {
+    EXPECT_FALSE(name.empty());
+    sum += um2;
+  }
+  EXPECT_NEAR(sum, model.compute().total_with_bist(), 1e-6);
+}
+
+TEST(BistInventory, GateCountSumsComponents) {
+  BistInventory inv;
+  EXPECT_EQ(inv.total_gates(),
+            inv.fsm_gates + inv.counter_gates + inv.flip_logic_gates +
+                inv.density_accum_gates + inv.control_regs_gates);
+  // A BIST module is a ~1k-gate digital block — far smaller than an IMA.
+  EXPECT_LT(inv.total_gates(), 2000u);
+}
+
+}  // namespace
+}  // namespace remapd

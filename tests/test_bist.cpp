@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "bist/controller.hpp"
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+namespace {
+
+// --------------------------------------------------------------------- FSM
+
+TEST(BistFsm, StateSequenceMatchesFig2) {
+  BistFsm fsm(4);
+  fsm.start();
+  std::vector<BistState> trace;
+  while (!fsm.finished()) trace.push_back(fsm.step());
+
+  // 4 write-zero, read, process, 4 write-one, read, process.
+  const std::vector<BistState> expected = {
+      BistState::kS1WriteZero, BistState::kS1WriteZero,
+      BistState::kS1WriteZero, BistState::kS1WriteZero,
+      BistState::kS2ReadSa1,   BistState::kS3ProcessSa1,
+      BistState::kS4WriteOne,  BistState::kS4WriteOne,
+      BistState::kS4WriteOne,  BistState::kS4WriteOne,
+      BistState::kS5ReadSa0,   BistState::kS6ProcessSa0};
+  EXPECT_EQ(trace, expected);
+  EXPECT_EQ(fsm.state(), BistState::kS0Idle);
+}
+
+class BistCycleCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BistCycleCountTest, TotalCyclesIsTwoTimesRowsPlusTwo) {
+  const std::size_t rows = GetParam();
+  BistFsm fsm(rows);
+  fsm.start();
+  while (!fsm.finished()) fsm.step();
+  EXPECT_EQ(fsm.cycles_elapsed(), 2 * (rows + 2));
+  EXPECT_EQ(fsm.cycles_elapsed(), BistFsm::total_cycles(rows));
+}
+
+INSTANTIATE_TEST_SUITE_P(RowSweep, BistCycleCountTest,
+                         ::testing::Values(1, 4, 16, 64, 128, 256));
+
+TEST(BistFsm, Paper128x128Takes260Cycles) {
+  // §III.B.3: 128 + 1 + 1 per fault type = 130; SA1 + SA0 = 260 cycles.
+  EXPECT_EQ(BistFsm::total_cycles(128), 260u);
+  // One ReRAM cycle is 100 ns -> 26 us per crossbar test.
+  EXPECT_DOUBLE_EQ(260 * kReramCycleNs, 26000.0);
+}
+
+TEST(BistFsm, StepWithoutStartIsNoOp) {
+  BistFsm fsm(8);
+  EXPECT_EQ(fsm.step(), BistState::kS0Idle);
+  EXPECT_EQ(fsm.cycles_elapsed(), 0u);
+  EXPECT_FALSE(fsm.finished());
+}
+
+TEST(BistFsm, StateNamesAreDistinct) {
+  std::set<std::string> names;
+  for (auto s : {BistState::kS0Idle, BistState::kS1WriteZero,
+                 BistState::kS2ReadSa1, BistState::kS3ProcessSa1,
+                 BistState::kS4WriteOne, BistState::kS5ReadSa0,
+                 BistState::kS6ProcessSa0})
+    names.insert(bist_state_name(s));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+// -------------------------------------------------------------- Calibration
+
+TEST(BistCalibration, ExactAtNominalResistance) {
+  CellParams p;
+  BistCalibration cal(p, 128);
+  for (std::size_t k : {0u, 1u, 3u, 10u, 50u}) {
+    EXPECT_EQ(cal.estimate_fault_count(
+                  cal.expected_current(k, TestPattern::kAllZero),
+                  TestPattern::kAllZero),
+              k);
+    EXPECT_EQ(cal.estimate_fault_count(
+                  cal.expected_current(k, TestPattern::kAllOne),
+                  TestPattern::kAllOne),
+              k);
+  }
+}
+
+TEST(BistCalibration, ClampsToValidRange) {
+  CellParams p;
+  BistCalibration cal(p, 16);
+  EXPECT_EQ(cal.estimate_fault_count(0.0, TestPattern::kAllZero), 0u);
+  EXPECT_EQ(cal.estimate_fault_count(1e9, TestPattern::kAllZero), 16u);
+  // Excess current under the SA0 test (negative deficit) clamps to zero.
+  EXPECT_EQ(cal.estimate_fault_count(
+                cal.expected_current(0, TestPattern::kAllOne) * 2.0,
+                TestPattern::kAllOne),
+            0u);
+}
+
+class BistEstimationAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(BistEstimationAccuracy, DensityEstimateTracksGroundTruth) {
+  // Property: across densities and the stuck-R variation bands of [4], the
+  // BIST density estimate stays within 40% relative error (plus one cell
+  // of quantization slack) of ground truth.
+  const double density = GetParam();
+  BistController bist;
+  double est_sum = 0.0, true_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Crossbar xb(64, 64);
+    Rng rng(seed * 17 + 3);
+    xb.inject_random_faults(
+        static_cast<std::size_t>(density * static_cast<double>(xb.cell_count())),
+        0.9, rng);
+    const BistReport rep = bist.run(xb);
+    est_sum += rep.density_estimate;
+    true_sum += xb.fault_density();
+  }
+  const double slack = 1.0 / (64.0 * 64.0);
+  EXPECT_NEAR(est_sum / 5.0, true_sum / 5.0, 0.4 * true_sum / 5.0 + slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(DensitySweep, BistEstimationAccuracy,
+                         ::testing::Values(0.001, 0.002, 0.005, 0.01, 0.02,
+                                           0.05));
+
+// --------------------------------------------------------------- Controller
+
+TEST(BistController, ReportFieldsConsistent) {
+  Crossbar xb(32, 32);
+  Rng rng(9);
+  xb.inject_random_faults(10, 0.9, rng);
+  BistController bist;
+  const BistReport rep = bist.run(xb);
+  EXPECT_EQ(rep.cycles, BistFsm::total_cycles(32));
+  EXPECT_DOUBLE_EQ(rep.elapsed_ns,
+                   static_cast<double>(rep.cycles) * kReramCycleNs);
+  EXPECT_EQ(rep.total_estimate(), rep.sa1_estimate + rep.sa0_estimate);
+  EXPECT_DOUBLE_EQ(
+      rep.density_estimate,
+      static_cast<double>(rep.total_estimate()) / 1024.0);
+}
+
+TEST(BistController, FaultFreeCrossbarEstimatesZero) {
+  Crossbar xb(64, 64);
+  BistController bist;
+  const BistReport rep = bist.run(xb);
+  EXPECT_EQ(rep.total_estimate(), 0u);
+}
+
+TEST(BistController, AccountsTwoWritePasses) {
+  Crossbar xb(16, 16);
+  BistController bist;
+  bist.run(xb);
+  EXPECT_EQ(xb.array_writes(), 2u);
+  bist.run(xb);
+  EXPECT_EQ(xb.array_writes(), 4u);
+}
+
+TEST(BistController, SurveyCoversWholeRcs) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 2;
+  cfg.xbar_rows = cfg.xbar_cols = 16;
+  Rcs rcs(cfg);
+  Rng rng(10);
+  rcs.crossbar(5).inject_random_faults(20, 0.9, rng);
+
+  BistController bist;
+  std::uint64_t cycles = 0;
+  const auto densities = bist.survey(rcs, &cycles);
+  ASSERT_EQ(densities.size(), rcs.total_crossbars());
+  EXPECT_EQ(cycles, BistFsm::total_cycles(16));  // all IMAs in parallel
+  EXPECT_GT(densities[5], 0.0);
+  EXPECT_EQ(densities[0], 0.0);
+}
+
+TEST(BistController, DetectsSa0AndSa1Separately) {
+  Crossbar xb(64, 64);
+  Rng rng(11);
+  // Inject only SA1 faults.
+  std::size_t injected = 0;
+  while (injected < 20) {
+    const auto r = static_cast<std::size_t>(rng.uniform_int(0, 63));
+    const auto c = static_cast<std::size_t>(rng.uniform_int(0, 63));
+    if (xb.inject_fault(r, c, CellFault::kStuckAt1, rng)) ++injected;
+  }
+  BistController bist;
+  const BistReport rep = bist.run(xb);
+  EXPECT_NEAR(static_cast<double>(rep.sa1_estimate), 20.0, 8.0);
+  EXPECT_LE(rep.sa0_estimate, 3u);
+}
+
+}  // namespace
+}  // namespace remapd

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synth.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(Synth, ClassCounts) {
+  EXPECT_EQ(synth_num_classes(SynthKind::kCifar10), 10u);
+  EXPECT_EQ(synth_num_classes(SynthKind::kCifar100), 20u);
+  EXPECT_EQ(synth_num_classes(SynthKind::kSvhn), 10u);
+  EXPECT_STREQ(synth_name(SynthKind::kCifar10), "cifar10-like");
+  EXPECT_STREQ(synth_name(SynthKind::kSvhn), "svhn-like");
+}
+
+TEST(Synth, SizesAndShapes) {
+  SynthSpec spec;
+  spec.train = 64;
+  spec.test = 32;
+  spec.image_size = 12;
+  TrainTest tt = make_synthetic(spec);
+  EXPECT_EQ(tt.train.size(), 64u);
+  EXPECT_EQ(tt.test.size(), 32u);
+  EXPECT_EQ(tt.train.images.shape(), (Shape{64, 3, 12, 12}));
+  EXPECT_EQ(tt.train.labels.size(), 64u);
+  EXPECT_EQ(tt.train.num_classes, 10u);
+}
+
+TEST(Synth, BalancedLabels) {
+  SynthSpec spec;
+  spec.train = 100;
+  TrainTest tt = make_synthetic(spec);
+  std::vector<int> counts(10, 0);
+  for (auto l : tt.train.labels) counts[static_cast<std::size_t>(l)]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Synth, DeterministicForSeed) {
+  SynthSpec spec;
+  spec.train = 16;
+  spec.test = 8;
+  spec.seed = 77;
+  TrainTest a = make_synthetic(spec);
+  TrainTest b = make_synthetic(spec);
+  EXPECT_EQ(max_abs_diff(a.train.images, b.train.images), 0.0f);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  SynthSpec a, b;
+  a.train = b.train = 16;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_GT(max_abs_diff(make_synthetic(a).train.images,
+                         make_synthetic(b).train.images),
+            0.01f);
+}
+
+TEST(Synth, ClassesAreSeparated) {
+  // Mean image of two classes should differ clearly relative to noise.
+  SynthSpec spec;
+  spec.train = 200;
+  spec.noise = 0.1;
+  TrainTest tt = make_synthetic(spec);
+  const std::size_t elems = 3 * spec.image_size * spec.image_size;
+  std::vector<double> mean0(elems, 0.0), mean1(elems, 0.0);
+  std::size_t n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const float* img = tt.train.images.data() + i * elems;
+    if (tt.train.labels[i] == 0) {
+      for (std::size_t e = 0; e < elems; ++e) mean0[e] += img[e];
+      ++n0;
+    } else if (tt.train.labels[i] == 1) {
+      for (std::size_t e = 0; e < elems; ++e) mean1[e] += img[e];
+      ++n1;
+    }
+  }
+  double dist = 0.0;
+  for (std::size_t e = 0; e < elems; ++e)
+    dist += std::pow(mean0[e] / n0 - mean1[e] / n1, 2);
+  EXPECT_GT(std::sqrt(dist / elems), 0.1);
+}
+
+TEST(Synth, SvhnGlyphBrighterThanBackground) {
+  SynthSpec spec;
+  spec.kind = SynthKind::kSvhn;
+  spec.train = 40;
+  spec.noise = 0.05;
+  TrainTest tt = make_synthetic(spec);
+  // The glyph pixels have contrast >= 1.2 * gain >= 0.72, the background is
+  // ~N(0, 0.3); the max pixel should clearly exceed the mean.
+  const std::size_t elems = 3 * spec.image_size * spec.image_size;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const float* img = tt.train.images.data() + i * elems;
+    float mx = img[0];
+    double mean = 0.0;
+    for (std::size_t e = 0; e < elems; ++e) {
+      mx = std::max(mx, img[e]);
+      mean += img[e];
+    }
+    mean /= elems;
+    EXPECT_GT(mx, mean + 0.5);
+  }
+}
+
+class SynthKindTest : public ::testing::TestWithParam<SynthKind> {};
+
+TEST_P(SynthKindTest, GeneratesValidDataset) {
+  SynthSpec spec;
+  spec.kind = GetParam();
+  spec.train = 40;
+  spec.test = 20;
+  TrainTest tt = make_synthetic(spec);
+  EXPECT_EQ(tt.train.num_classes, synth_num_classes(GetParam()));
+  for (auto l : tt.train.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(static_cast<std::size_t>(l), tt.train.num_classes);
+  }
+  // All finite values.
+  for (std::size_t i = 0; i < tt.train.images.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(tt.train.images[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SynthKindTest,
+                         ::testing::Values(SynthKind::kCifar10,
+                                           SynthKind::kCifar100,
+                                           SynthKind::kSvhn));
+
+// ----------------------------------------------------------------- Batcher
+
+TEST(Batcher, CoversEverySampleOncePerEpoch) {
+  SynthSpec spec;
+  spec.train = 50;
+  TrainTest tt = make_synthetic(spec);
+  Rng rng(5);
+  Batcher batcher(tt.train, 16, rng);
+  EXPECT_EQ(batcher.batches_per_epoch(), 4u);  // 16+16+16+2
+
+  batcher.start_epoch();
+  std::multiset<float> seen;
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < batcher.batches_per_epoch(); ++b) {
+    Batch batch = batcher.get(b);
+    total += batch.labels.size();
+    for (std::size_t k = 0; k < batch.labels.size(); ++k)
+      seen.insert(batch.images[k * batch.images.numel() /
+                               batch.labels.size()]);
+  }
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(Batcher, ShufflesBetweenEpochs) {
+  SynthSpec spec;
+  spec.train = 32;
+  TrainTest tt = make_synthetic(spec);
+  Rng rng(6);
+  Batcher batcher(tt.train, 32, rng);
+  batcher.start_epoch();
+  Batch a = batcher.get(0);
+  batcher.start_epoch();
+  Batch b = batcher.get(0);
+  EXPECT_NE(a.labels, b.labels);  // overwhelmingly likely after shuffle
+}
+
+TEST(Batcher, OutOfRangeThrows) {
+  SynthSpec spec;
+  spec.train = 8;
+  TrainTest tt = make_synthetic(spec);
+  Rng rng(7);
+  Batcher batcher(tt.train, 4, rng);
+  EXPECT_THROW(batcher.get(2), std::out_of_range);
+  EXPECT_THROW(Batcher(tt.train, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace remapd

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "ecc/an_code.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(AnCode, RejectsInvalidA) {
+  EXPECT_THROW(AnCode(2), std::invalid_argument);
+  EXPECT_THROW(AnCode(1), std::invalid_argument);
+  EXPECT_THROW(AnCode(4), std::invalid_argument);
+  EXPECT_NO_THROW(AnCode(3));
+  EXPECT_NO_THROW(AnCode(17));
+}
+
+TEST(AnCode, EncodeDecodeRoundTrip) {
+  AnCode code(17);
+  for (std::int64_t v : {0L, 1L, -1L, 42L, -1000L, 123456L}) {
+    EXPECT_EQ(code.decode(code.encode(v)), v);
+  }
+}
+
+TEST(AnCode, DecodeRejectsCorruptedWord) {
+  AnCode code(17);
+  EXPECT_THROW((void)code.decode(code.encode(5) + 1), std::invalid_argument);
+}
+
+TEST(AnCode, CheckDetectsErrors) {
+  AnCode code(17);
+  EXPECT_TRUE(code.check(code.encode(7)));
+  for (std::int64_t e = 1; e < 17; ++e)
+    EXPECT_FALSE(code.check(code.encode(7) + e)) << e;
+}
+
+TEST(AnCode, CorrectsWithinCapability) {
+  AnCode code(17);
+  EXPECT_EQ(code.correctable_magnitude(), 8);
+  const std::int64_t word = code.encode(-3);
+  for (std::int64_t e = -8; e <= 8; ++e)
+    EXPECT_EQ(code.correct(word + e), word) << "error " << e;
+}
+
+TEST(AnCode, MiscorrectsBeyondCapability) {
+  // An error of magnitude > A/2 aliases to the wrong code word — exactly
+  // the failure mode full-scale stuck-cell errors trigger.
+  AnCode code(17);
+  const std::int64_t word = code.encode(10);
+  EXPECT_NE(code.correct(word + 9), word);
+}
+
+TEST(AnCode, LinearityUnderAddition) {
+  // MVM accumulation preserves code membership: A*x + A*y = A*(x+y).
+  AnCode code(9);
+  const std::int64_t a = code.encode(12), b = code.encode(-5);
+  EXPECT_TRUE(code.check(a + b));
+  EXPECT_EQ(code.decode(a + b), 7);
+}
+
+TEST(AnCode, VectorHelpers) {
+  AnCode code(17);
+  const std::vector<std::int64_t> values = {1, -2, 30};
+  auto encoded = code.encode(values);
+  ASSERT_EQ(encoded.size(), 3u);
+  encoded[1] += 3;  // small correctable error
+  const auto decoded = code.correct_and_decode(encoded);
+  EXPECT_EQ(decoded, values);
+}
+
+class AnCodeParamTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(AnCodeParamTest, ResidueFoldedSymmetric) {
+  AnCode code(GetParam());
+  for (std::int64_t v = -50; v <= 50; ++v) {
+    const std::int64_t r = code.residue(v);
+    EXPECT_LE(std::abs(r), code.a() / 2);
+    EXPECT_EQ((v - r) % code.a(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AValues, AnCodeParamTest,
+                         ::testing::Values(3, 5, 9, 17, 31, 127));
+
+}  // namespace
+}  // namespace remapd

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "xbar/endurance.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(Endurance, CdfBasicProperties) {
+  EnduranceModel model;
+  EXPECT_DOUBLE_EQ(model.failure_cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.failure_cdf(-5.0), 0.0);
+  // Monotone increasing toward 1.
+  double prev = 0.0;
+  for (double w : {50.0, 100.0, 200.0, 400.0, 800.0, 3200.0}) {
+    const double c = model.failure_cdf(w);
+    EXPECT_GT(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  // At the characteristic lifetime, CDF = 1 - 1/e.
+  EXPECT_NEAR(model.failure_cdf(400.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(Endurance, WearOutHazardIncreases) {
+  // Shape > 1: the conditional failure probability of an equally long
+  // write interval grows with age.
+  EnduranceModel model;
+  const double young = model.interval_failure_probability(0.0, 50.0);
+  const double old_ = model.interval_failure_probability(300.0, 350.0);
+  EXPECT_GT(old_, young);
+}
+
+TEST(Endurance, NoWritesNoFailures) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 2;
+  cfg.xbar_rows = cfg.xbar_cols = 32;
+  Rcs rcs(cfg);
+  EnduranceModel model;
+  Rng rng(1);
+  EXPECT_EQ(model.advance_epoch(rcs, rng), 0u);
+  EXPECT_EQ(rcs.mean_fault_density(), 0.0);
+}
+
+TEST(Endurance, HeavilyWrittenCrossbarsFailMore) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 2;
+  cfg.xbar_rows = cfg.xbar_cols = 64;
+  Rcs rcs(cfg);
+  // Crossbars 0..7 written heavily, the rest lightly.
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x)
+    for (int w = 0; w < (x < 8 ? 300 : 10); ++w)
+      rcs.crossbar(x).record_array_write();
+
+  EnduranceModel model;
+  Rng rng(2);
+  const std::size_t injected = model.advance_epoch(rcs, rng);
+  EXPECT_GT(injected, 0u);
+  std::size_t heavy = 0, light = 0;
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x)
+    (x < 8 ? heavy : light) += rcs.crossbar(x).fault_count();
+  EXPECT_GT(heavy, light * 3);
+}
+
+TEST(Endurance, EpochsAreIncremental) {
+  // Calling advance twice without new writes adds nothing the second time.
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 2;
+  cfg.xbar_rows = cfg.xbar_cols = 64;
+  Rcs rcs(cfg);
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x)
+    for (int w = 0; w < 200; ++w) rcs.crossbar(x).record_array_write();
+
+  EnduranceModel model;
+  Rng rng(3);
+  const std::size_t first = model.advance_epoch(rcs, rng);
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(model.advance_epoch(rcs, rng), 0u);
+
+  // More writes -> more failures on the next call.
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x)
+    for (int w = 0; w < 100; ++w) rcs.crossbar(x).record_array_write();
+  EXPECT_GT(model.advance_epoch(rcs, rng), 0u);
+}
+
+TEST(Endurance, CumulativeFractionTracksCdf) {
+  // After many epochs, the injected fraction approaches the CDF at the
+  // total write count.
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 2;
+  cfg.xbar_rows = cfg.xbar_cols = 64;
+  Rcs rcs(cfg);
+  EnduranceModel model;
+  Rng rng(4);
+  const int epochs = 10, writes_per_epoch = 30;
+  for (int e = 0; e < epochs; ++e) {
+    for (XbarId x = 0; x < rcs.total_crossbars(); ++x)
+      for (int w = 0; w < writes_per_epoch; ++w)
+        rcs.crossbar(x).record_array_write();
+    model.advance_epoch(rcs, rng);
+  }
+  const double expect = model.failure_cdf(epochs * writes_per_epoch);
+  EXPECT_NEAR(rcs.mean_fault_density(), expect, 0.5 * expect);
+}
+
+}  // namespace
+}  // namespace remapd

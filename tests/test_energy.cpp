@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "area/energy_model.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(EnergyModel, BreakdownPositiveAndAdditive) {
+  RcsEnergyModel model;
+  const EpochWorkload w = canonical_epoch_workload(100, 1000, 10, 128, 128);
+  const EnergyBreakdown b = model.epoch_energy(w, 100, 260);
+  EXPECT_GT(b.compute_pj, 0.0);
+  EXPECT_GT(b.write_pj, 0.0);
+  EXPECT_GT(b.traffic_pj, 0.0);
+  EXPECT_GT(b.buffer_pj, 0.0);
+  EXPECT_GT(b.bist_pj, 0.0);
+  EXPECT_DOUBLE_EQ(b.total_pj(), b.compute_pj + b.write_pj + b.traffic_pj +
+                                     b.buffer_pj + b.bist_pj);
+}
+
+TEST(EnergyModel, ScalesLinearlyWithWork) {
+  RcsEnergyModel model;
+  const EpochWorkload w1 = canonical_epoch_workload(100, 1000, 10, 128, 128);
+  const EpochWorkload w2 = canonical_epoch_workload(100, 2000, 20, 128, 128);
+  const double e1 = model.epoch_energy(w1, 100, 260).total_pj();
+  const double e2 = model.epoch_energy(w2, 100, 260).total_pj();
+  // BIST is fixed per epoch; everything else doubles.
+  EXPECT_GT(e2, 1.9 * e1 * 0.99);
+  EXPECT_LT(e2, 2.0 * e1);
+}
+
+TEST(EnergyModel, BistEnergyIsNegligible) {
+  RcsEnergyModel model;
+  const EpochWorkload w =
+      canonical_epoch_workload(320, 50000, 391, 128, 128);
+  const EnergyBreakdown b = model.epoch_energy(w, 320, 260);
+  EXPECT_LT(b.bist_pj / b.total_pj(), 0.001);
+}
+
+TEST(EnergyModel, RemapEnergyComponents) {
+  RcsEnergyModel model;
+  const double traffic_only = model.remap_energy_pj(1000, 0);
+  const double writes_only = model.remap_energy_pj(0, 1000);
+  EXPECT_GT(traffic_only, 0.0);
+  EXPECT_GT(writes_only, 0.0);
+  EXPECT_DOUBLE_EQ(model.remap_energy_pj(1000, 1000),
+                   traffic_only + writes_only);
+}
+
+TEST(EnergyModel, RemapOverheadBelowPaperBound) {
+  // The conclusion's claim: remap traffic < 0.5% power overhead. A typical
+  // round (4 pairs, ~100k flit-hops, 8 arrays rewritten) against a
+  // paper-scale epoch.
+  RcsEnergyModel model;
+  const EpochWorkload w =
+      canonical_epoch_workload(320, 50000, 391, 128, 128);
+  const EnergyBreakdown epoch = model.epoch_energy(w, 320, 260);
+  const double remap = model.remap_energy_pj(100000, 8 * 128 * 128);
+  const double pct = model.remap_overhead_percent(epoch, remap);
+  EXPECT_GT(pct, 0.0);
+  EXPECT_LT(pct, 0.5);
+}
+
+TEST(EnergyModel, OverheadZeroForEmptyEpoch) {
+  RcsEnergyModel model;
+  EnergyBreakdown empty;
+  EXPECT_DOUBLE_EQ(model.remap_overhead_percent(empty, 100.0), 0.0);
+}
+
+TEST(CanonicalWorkload, ShapesFollowInputs) {
+  const EpochWorkload w = canonical_epoch_workload(10, 100, 5, 64, 32);
+  EXPECT_EQ(w.mvm_ops, 1000u);
+  EXPECT_EQ(w.weight_writes, 50u);
+  EXPECT_EQ(w.xbar_rows, 64u);
+  EXPECT_EQ(w.xbar_cols, 32u);
+  EXPECT_GT(w.noc_flit_hops, 0u);
+  EXPECT_GT(w.edram_bits, 0u);
+}
+
+}  // namespace
+}  // namespace remapd

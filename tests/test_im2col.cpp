@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "tensor/im2col.hpp"
+#include "tensor/tensor.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(ConvGeom, OutputDims) {
+  ConvGeom g{3, 16, 16, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 16u);
+  EXPECT_EQ(g.out_w(), 16u);
+  EXPECT_EQ(g.col_rows(), 27u);
+  EXPECT_EQ(g.col_cols(), 256u);
+
+  ConvGeom s{8, 8, 8, 3, 3, 2, 1};
+  EXPECT_EQ(s.out_h(), 4u);
+  EXPECT_EQ(s.out_w(), 4u);
+
+  ConvGeom one{4, 5, 5, 1, 1, 1, 0};
+  EXPECT_EQ(one.out_h(), 5u);
+  EXPECT_EQ(one.col_rows(), 4u);
+}
+
+/// Reference: direct gather per output position.
+void naive_im2col(const float* img, const ConvGeom& g, float* col) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  for (std::size_t c = 0; c < g.channels; ++c)
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh)
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw)
+        for (std::size_t y = 0; y < oh; ++y)
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long iy = static_cast<long>(y * g.stride + kh) -
+                            static_cast<long>(g.pad);
+            const long ix = static_cast<long>(x * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            const std::size_t row =
+                (c * g.kernel_h + kh) * g.kernel_w + kw;
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<long>(g.height) && ix >= 0 &&
+                ix < static_cast<long>(g.width))
+              v = img[(c * g.height + static_cast<std::size_t>(iy)) *
+                          g.width +
+                      static_cast<std::size_t>(ix)];
+            col[row * oh * ow + y * ow + x] = v;
+          }
+}
+
+class Im2ColPropertyTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(Im2ColPropertyTest, MatchesNaiveGather) {
+  const ConvGeom g = GetParam();
+  Rng rng(g.channels * 131 + g.height * 17 + g.kernel_h + g.stride);
+  Tensor img = Tensor::randn(Shape{g.channels, g.height, g.width}, rng);
+  const std::size_t n = g.col_rows() * g.col_cols();
+  std::vector<float> fast(n), ref(n);
+  im2col(img.data(), g, fast.data());
+  naive_im2col(img.data(), g, ref.data());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(fast[i], ref[i]) << "at " << i;
+}
+
+TEST_P(Im2ColPropertyTest, Col2ImIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> characterizes the adjoint (the exact
+  // property the conv backward pass relies on).
+  const ConvGeom g = GetParam();
+  Rng rng(g.channels + g.height * 3 + g.kernel_w * 7);
+  Tensor x = Tensor::randn(Shape{g.channels, g.height, g.width}, rng);
+  const std::size_t n = g.col_rows() * g.col_cols();
+  Tensor y = Tensor::randn(Shape{n}, rng);
+
+  std::vector<float> cx(n);
+  im2col(x.data(), g, cx.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    lhs += static_cast<double>(cx[i]) * y[i];
+
+  Tensor back = Tensor::zeros(x.shape());
+  col2im(y.data(), g, back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometrySweep, Im2ColPropertyTest,
+    ::testing::Values(ConvGeom{1, 4, 4, 3, 3, 1, 1},
+                      ConvGeom{3, 8, 8, 3, 3, 1, 1},
+                      ConvGeom{2, 8, 8, 3, 3, 2, 1},
+                      ConvGeom{4, 6, 6, 1, 1, 1, 0},
+                      ConvGeom{2, 5, 7, 3, 3, 1, 0},
+                      ConvGeom{1, 16, 16, 5, 5, 1, 2},
+                      ConvGeom{3, 16, 16, 3, 3, 2, 1},
+                      ConvGeom{8, 2, 2, 1, 1, 1, 0}));
+
+TEST(Im2Col, ZeroPaddingProducesZeros) {
+  ConvGeom g{1, 2, 2, 3, 3, 1, 1};
+  Tensor img = Tensor::ones(Shape{1, 2, 2});
+  std::vector<float> col(g.col_rows() * g.col_cols());
+  im2col(img.data(), g, col.data());
+  // Top-left kernel tap at output (0,0) reads the padded corner.
+  EXPECT_EQ(col[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace remapd

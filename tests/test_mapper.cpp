@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xbar/mapper.hpp"
+
+namespace remapd {
+namespace {
+
+Rcs make_rcs(std::size_t xbar = 32, std::size_t tiles = 4) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = tiles;
+  cfg.xbar_rows = cfg.xbar_cols = xbar;
+  return Rcs(cfg);
+}
+
+TEST(WeightMapper, RequiresSquareCrossbars) {
+  RcsConfig cfg;
+  cfg.xbar_rows = 16;
+  cfg.xbar_cols = 32;
+  Rcs rcs(cfg);
+  EXPECT_THROW(WeightMapper{rcs}, std::invalid_argument);
+}
+
+TEST(WeightMapper, CreatesForwardAndBackwardTasks) {
+  Rcs rcs = make_rcs();
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{8, 27}, {64, 72}});
+  // Layer 0: 1 fwd + 1 bwd block. Layer 1 (64x72 @32): fwd 2x3=6, bwd 3x2=6.
+  EXPECT_EQ(mapper.num_tasks(), 14u);
+  EXPECT_EQ(mapper.xbars_of_phase(Phase::kForward).size(), 7u);
+  EXPECT_EQ(mapper.xbars_of_phase(Phase::kBackward).size(), 7u);
+}
+
+TEST(WeightMapper, TilingCoversMatrixExactlyOnce) {
+  Rcs rcs = make_rcs();
+  WeightMapper mapper(rcs);
+  const std::size_t R = 70, C = 45;
+  mapper.map_layers({{R, C}});
+
+  std::vector<int> cover(R * C, 0);
+  for (TaskId t = 0; t < mapper.num_tasks(); ++t) {
+    const WeightBlock& blk = mapper.task(t);
+    if (blk.phase != Phase::kForward) continue;
+    for (std::size_t r = blk.row0; r < blk.row0 + blk.rows; ++r)
+      for (std::size_t c = blk.col0; c < blk.col0 + blk.cols; ++c)
+        cover[r * C + c]++;
+  }
+  for (int v : cover) ASSERT_EQ(v, 1);
+}
+
+TEST(WeightMapper, BlockExtentsFitCrossbars) {
+  Rcs rcs = make_rcs(32);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{100, 200}});
+  for (TaskId t = 0; t < mapper.num_tasks(); ++t) {
+    const WeightBlock& blk = mapper.task(t);
+    EXPECT_LE(blk.rows, 32u);
+    EXPECT_LE(blk.cols, 32u);
+    EXPECT_GT(blk.rows, 0u);
+    EXPECT_GT(blk.cols, 0u);
+  }
+}
+
+TEST(WeightMapper, ThrowsWhenRcsTooSmall) {
+  Rcs rcs = make_rcs(8, 2);  // 2x2 tiles x 8 = 32 crossbars
+  WeightMapper mapper(rcs);
+  EXPECT_THROW(mapper.map_layers({{128, 128}}), std::runtime_error);
+}
+
+TEST(WeightMapper, AssignmentIsBijective) {
+  Rcs rcs = make_rcs();
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{40, 40}, {16, 90}});
+
+  std::set<XbarId> used;
+  for (TaskId t = 0; t < mapper.num_tasks(); ++t) {
+    const XbarId x = mapper.xbar_of(t);
+    EXPECT_TRUE(used.insert(x).second) << "crossbar reused";
+    EXPECT_EQ(mapper.task_on(x), t);
+  }
+}
+
+TEST(WeightMapper, SwapTasksMaintainsBijection) {
+  Rcs rcs = make_rcs();
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{40, 40}});
+  const std::size_t n = mapper.num_tasks();
+  ASSERT_GE(rcs.total_crossbars(), n + 1);
+
+  // Swap with an occupied crossbar.
+  const XbarId x0 = mapper.xbar_of(0), x1 = mapper.xbar_of(1);
+  mapper.swap_tasks(0, x1);
+  EXPECT_EQ(mapper.xbar_of(0), x1);
+  EXPECT_EQ(mapper.xbar_of(1), x0);
+  EXPECT_EQ(mapper.task_on(x1), 0u);
+  EXPECT_EQ(mapper.task_on(x0), 1u);
+
+  // Move to an idle crossbar.
+  const XbarId idle = rcs.total_crossbars() - 1;
+  ASSERT_EQ(mapper.task_on(idle), kNoTask);
+  mapper.swap_tasks(0, idle);
+  EXPECT_EQ(mapper.xbar_of(0), idle);
+  EXPECT_EQ(mapper.task_on(x1), kNoTask);
+}
+
+TEST(WeightMapper, FaultViewMapsCellToWeightIndex) {
+  Rcs rcs = make_rcs(32);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{8, 27}});
+  Rng rng(1);
+
+  // Forward block of layer 0 is task 0; crossbar cell (i, j) holds W(row0+j,
+  // col0+i). Inject at cell (2, 5) -> weight (5, 2) -> index 5*27+2 = 137.
+  const XbarId fx = mapper.xbar_of(0);
+  rcs.crossbar(fx).inject_fault(2, 5, CellFault::kStuckAt1, rng);
+  FaultView fwd = mapper.build_fault_view(0, Phase::kForward, 1.0f);
+  ASSERT_EQ(fwd.clamps.size(), 1u);
+  EXPECT_EQ(fwd.clamps[0].index, 5u * 27u + 2u);
+
+  // Backward stores W^T (27x8). Cell (3, 4) holds W^T(4, 3) = W(3, 4) ->
+  // index 3*27+4 = 85.
+  const XbarId bx = mapper.xbar_of(1);
+  ASSERT_EQ(mapper.task(1).phase, Phase::kBackward);
+  rcs.crossbar(bx).inject_fault(3, 4, CellFault::kStuckAt0, rng);
+  FaultView bwd = mapper.build_fault_view(0, Phase::kBackward, 1.0f);
+  ASSERT_EQ(bwd.clamps.size(), 1u);
+  EXPECT_EQ(bwd.clamps[0].index, 3u * 27u + 4u);
+}
+
+TEST(WeightMapper, FaultsOutsideOccupiedExtentIgnored) {
+  Rcs rcs = make_rcs(32);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{8, 27}});  // occupies 27 rows x 8 cols of the array
+  Rng rng(2);
+  const XbarId fx = mapper.xbar_of(0);
+  rcs.crossbar(fx).inject_fault(30, 30, CellFault::kStuckAt1, rng);
+  EXPECT_TRUE(mapper.build_fault_view(0, Phase::kForward, 1.0f).empty());
+  EXPECT_EQ(mapper.effective_fault_count(0), 0u);
+
+  rcs.crossbar(fx).inject_fault(1, 1, CellFault::kStuckAt1, rng);
+  EXPECT_EQ(mapper.effective_fault_count(0), 1u);
+}
+
+TEST(WeightMapper, ViewFollowsTaskAfterSwap) {
+  Rcs rcs = make_rcs(32);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{8, 27}});
+  Rng rng(3);
+
+  const XbarId idle = rcs.total_crossbars() - 1;
+  rcs.crossbar(idle).inject_fault(0, 0, CellFault::kStuckAt1, rng);
+
+  EXPECT_TRUE(mapper.build_fault_view(0, Phase::kForward, 1.0f).empty());
+  mapper.swap_tasks(0, idle);  // forward block moves onto the faulty array
+  EXPECT_EQ(mapper.build_fault_view(0, Phase::kForward, 1.0f).clamps.size(),
+            1u);
+}
+
+TEST(WeightMapper, HopDistanceUsesTileGrid) {
+  Rcs rcs = make_rcs(32, 4);
+  WeightMapper mapper(rcs);
+  const std::size_t per_tile = rcs.config().xbars_per_tile();
+  EXPECT_EQ(mapper.hop_distance(0, per_tile - 1), 0u);  // same tile
+  EXPECT_EQ(mapper.hop_distance(0, per_tile), 1u);      // neighbour tile
+}
+
+TEST(WeightMapper, RecordWeightUpdateTouchesMappedOnly) {
+  Rcs rcs = make_rcs(32);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{8, 27}});
+  mapper.record_weight_update();
+  EXPECT_EQ(rcs.crossbar(mapper.xbar_of(0)).array_writes(), 1u);
+  EXPECT_EQ(rcs.crossbar(rcs.total_crossbars() - 1).array_writes(), 0u);
+}
+
+TEST(WeightMapper, BuildViewUsesMappingMode) {
+  Rcs rcs = make_rcs(32);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{8, 27}});
+  Rng rng(4);
+  rcs.crossbar(mapper.xbar_of(0)).inject_fault(0, 0, CellFault::kStuckAt0,
+                                               rng);
+  FaultView single = mapper.build_fault_view(0, Phase::kForward, 1.0f,
+                                             MappingMode::kSingleArrayBias);
+  FaultView diff = mapper.build_fault_view(0, Phase::kForward, 1.0f,
+                                           MappingMode::kDifferentialPair);
+  EXPECT_EQ(single.mode, MappingMode::kSingleArrayBias);
+  EXPECT_EQ(diff.mode, MappingMode::kDifferentialPair);
+}
+
+TEST(BlockCovers, ForwardAndBackwardSemantics) {
+  WeightBlock fwd{0, Phase::kForward, 10, 20, 5, 6};
+  EXPECT_TRUE(block_covers(fwd, 10, 20));
+  EXPECT_TRUE(block_covers(fwd, 14, 25));
+  EXPECT_FALSE(block_covers(fwd, 15, 20));
+  EXPECT_FALSE(block_covers(fwd, 10, 26));
+
+  // Backward block over W^T rows [10,15) x cols [20,26) covers W rows
+  // [20,26) x cols [10,15).
+  WeightBlock bwd{0, Phase::kBackward, 10, 20, 5, 6};
+  EXPECT_TRUE(block_covers(bwd, 20, 10));
+  EXPECT_TRUE(block_covers(bwd, 25, 14));
+  EXPECT_FALSE(block_covers(bwd, 26, 10));
+  EXPECT_FALSE(block_covers(bwd, 20, 15));
+}
+
+class MapperTilingProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MapperTilingProperty, ForwardPlusBackwardWeightConservation) {
+  const auto [rows, cols] = GetParam();
+  RcsConfig cfg = RcsConfig::sized_for(
+      2 * ((rows + 31) / 32) * ((cols + 31) / 32) + 8, 32, 32);
+  Rcs rcs(cfg);
+  WeightMapper mapper(rcs);
+  mapper.map_layers({{rows, cols}});
+
+  std::size_t fwd_cells = 0, bwd_cells = 0;
+  for (TaskId t = 0; t < mapper.num_tasks(); ++t) {
+    const WeightBlock& blk = mapper.task(t);
+    (blk.phase == Phase::kForward ? fwd_cells : bwd_cells) +=
+        blk.rows * blk.cols;
+  }
+  EXPECT_EQ(fwd_cells, rows * cols);
+  EXPECT_EQ(bwd_cells, rows * cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSweep, MapperTilingProperty,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(32u, 32u),
+                      std::make_pair(33u, 31u), std::make_pair(64u, 576u),
+                      std::make_pair(8u, 27u), std::make_pair(100u, 100u),
+                      std::make_pair(7u, 129u)));
+
+}  // namespace
+}  // namespace remapd

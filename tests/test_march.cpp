@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "bist/fsm.hpp"
+#include "bist/march.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(MarchCMinus, FaultFreeArrayReportsNothing) {
+  Crossbar xb(16, 16);
+  const MarchResult res = march_c_minus(xb);
+  EXPECT_TRUE(res.faults.empty());
+  EXPECT_EQ(res.cycles, march_c_minus_cycles(256));
+}
+
+TEST(MarchCMinus, CycleCostIsTenOpsPerCell) {
+  Crossbar xb(8, 4);
+  const MarchResult res = march_c_minus(xb);
+  EXPECT_EQ(res.cycles, 10u * 32u);
+  EXPECT_EQ(res.reads + res.writes, res.cycles);
+  EXPECT_EQ(res.reads, 5u * 32u);
+  EXPECT_EQ(res.writes, 5u * 32u);
+}
+
+TEST(MarchCMinus, DetectsEveryStuckAtFaultWithLocationAndType) {
+  Crossbar xb(32, 32);
+  Rng rng(5);
+  xb.inject_random_faults(40, 0.5, rng);
+  const MarchResult res = march_c_minus(xb);
+  ASSERT_EQ(res.fault_count(), 40u);
+  for (const MarchFault& f : res.faults) {
+    EXPECT_EQ(xb.fault_at(f.row, f.col), f.type)
+        << "(" << f.row << "," << f.col << ")";
+  }
+}
+
+TEST(MarchCMinus, DetectsSingleCornerFaults) {
+  for (auto type : {CellFault::kStuckAt0, CellFault::kStuckAt1}) {
+    Crossbar xb(4, 4);
+    Rng rng(6);
+    xb.inject_fault(3, 3, type, rng);
+    const MarchResult res = march_c_minus(xb);
+    ASSERT_EQ(res.fault_count(), 1u);
+    EXPECT_EQ(res.faults[0].row, 3u);
+    EXPECT_EQ(res.faults[0].col, 3u);
+    EXPECT_EQ(res.faults[0].type, type);
+  }
+}
+
+TEST(MarchCMinus, CostDwarfsDensityBist) {
+  // The §II trade-off: exact locations cost ~630x the cycles of the
+  // density-only BIST on a 128x128 array.
+  const std::uint64_t march = march_c_minus_cycles(128 * 128);
+  const std::uint64_t bist = BistFsm::total_cycles(128);
+  EXPECT_EQ(march, 163840u);
+  EXPECT_EQ(bist, 260u);
+  EXPECT_GT(march / bist, 600u);
+}
+
+class MarchDensityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MarchDensityTest, CountMatchesGroundTruthExactly) {
+  Crossbar xb(64, 64);
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1e5));
+  xb.inject_random_faults(
+      static_cast<std::size_t>(GetParam() * 4096.0), 0.9, rng);
+  const MarchResult res = march_c_minus(xb);
+  EXPECT_EQ(res.fault_count(), xb.fault_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, MarchDensityTest,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.25));
+
+}  // namespace
+}  // namespace remapd

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+
+namespace remapd {
+namespace noc {
+namespace {
+
+// ---------------------------------------------------------------- Geometry
+
+TEST(CmeshGeometry, RouterGridFromTileGrid) {
+  CmeshGeometry g{4, 4};
+  EXPECT_EQ(g.routers_x(), 2u);
+  EXPECT_EQ(g.routers_y(), 2u);
+  EXPECT_EQ(g.num_routers(), 4u);
+  EXPECT_EQ(g.num_tiles(), 16u);
+
+  CmeshGeometry odd{5, 3};
+  EXPECT_EQ(odd.routers_x(), 3u);
+  EXPECT_EQ(odd.routers_y(), 2u);
+}
+
+TEST(CmeshGeometry, TileToRouterAndBack) {
+  CmeshGeometry g{4, 4};
+  // Tile 0 at (0,0) -> router 0, local port 0. Tile 5 at (1,1) -> router 0,
+  // local port 3. Tile 10 at (2,2) -> router 3, local 0.
+  EXPECT_EQ(g.router_of_tile(0), 0u);
+  EXPECT_EQ(g.local_port_of_tile(0), 0u);
+  EXPECT_EQ(g.router_of_tile(5), 0u);
+  EXPECT_EQ(g.local_port_of_tile(5), 3u);
+  EXPECT_EQ(g.router_of_tile(10), 3u);
+  EXPECT_EQ(g.local_port_of_tile(10), 0u);
+
+  // tile_at inverts the mapping for every tile.
+  for (std::size_t t = 0; t < g.num_tiles(); ++t)
+    EXPECT_EQ(g.tile_at(g.router_of_tile(t), g.local_port_of_tile(t)), t);
+}
+
+TEST(CmeshGeometry, EdgeStubsReported) {
+  CmeshGeometry g{3, 3};  // 2x2 routers, right/bottom quads partial
+  // Router 1 covers tiles x in {2,3}, but tiles_x == 3: local port 1 (x=3)
+  // is a stub.
+  const std::size_t r = g.router_at(1, 0);
+  EXPECT_EQ(g.tile_at(r, 1), g.num_tiles());
+}
+
+TEST(CmeshGeometry, HopCountProperties) {
+  CmeshGeometry g{8, 8};
+  EXPECT_EQ(g.hop_count(0, 0), 0u);
+  EXPECT_EQ(g.hop_count(0, 1), 0u);  // same quad
+  EXPECT_EQ(g.hop_count(0, 2), 1u);  // neighbouring quad
+  for (std::size_t a = 0; a < g.num_tiles(); a += 7)
+    for (std::size_t b = 0; b < g.num_tiles(); b += 5)
+      EXPECT_EQ(g.hop_count(a, b), g.hop_count(b, a));
+}
+
+// ----------------------------------------------------------------- Routing
+
+TEST(XyRoute, DeliversLocallyAtDestinationRouter) {
+  CmeshGeometry g{4, 4};
+  const std::size_t r = g.router_of_tile(5);
+  EXPECT_EQ(xy_route(g, r, 5), g.local_port_of_tile(5));
+}
+
+TEST(XyRoute, XBeforeY) {
+  CmeshGeometry g{8, 8};  // 4x4 routers
+  // From router (0,0) to a tile at router (2,2): must go east first.
+  const std::size_t dst_tile = 4 + 4 * 8;  // tile (4,4) -> router (2,2)
+  EXPECT_EQ(xy_route(g, g.router_at(0, 0), dst_tile), CmeshGeometry::kPortE);
+  // From router (2,0): aligned in x, go south.
+  EXPECT_EQ(xy_route(g, g.router_at(2, 0), dst_tile), CmeshGeometry::kPortS);
+  // From (3,2): go west.
+  EXPECT_EQ(xy_route(g, g.router_at(3, 2), dst_tile), CmeshGeometry::kPortW);
+  // From (2,3): go north.
+  EXPECT_EQ(xy_route(g, g.router_at(2, 3), dst_tile), CmeshGeometry::kPortN);
+}
+
+TEST(XyRoute, EveryStepReducesDistance) {
+  CmeshGeometry g{6, 6};
+  for (std::size_t src = 0; src < g.num_tiles(); src += 5)
+    for (std::size_t dst = 0; dst < g.num_tiles(); dst += 3) {
+      if (src == dst) continue;
+      std::size_t router = g.router_of_tile(src);
+      std::size_t hops = 0;
+      while (router != g.router_of_tile(dst)) {
+        const std::size_t port = xy_route(g, router, dst);
+        ASSERT_GE(port, CmeshGeometry::kConcentration);
+        const RouterCoord rc = g.coord(router);
+        std::size_t nx = rc.x, ny = rc.y;
+        if (port == CmeshGeometry::kPortE) nx++;
+        else if (port == CmeshGeometry::kPortW) nx--;
+        else if (port == CmeshGeometry::kPortS) ny++;
+        else ny--;
+        router = g.router_at(nx, ny);
+        ASSERT_LE(++hops, g.routers_x() + g.routers_y());
+      }
+      EXPECT_EQ(hops, g.hop_count(src, dst));
+    }
+}
+
+TEST(XyTreeRoute, OriginSpreadsAllDirections) {
+  CmeshGeometry g{8, 8};
+  // Interior router, flit injected from local port 0.
+  const std::size_t r = g.router_at(1, 1);
+  const auto outs = xy_tree_route(g, r, 0, 0);
+  std::set<std::size_t> set(outs.begin(), outs.end());
+  EXPECT_TRUE(set.count(CmeshGeometry::kPortN));
+  EXPECT_TRUE(set.count(CmeshGeometry::kPortS));
+  EXPECT_TRUE(set.count(CmeshGeometry::kPortE));
+  EXPECT_TRUE(set.count(CmeshGeometry::kPortW));
+  EXPECT_TRUE(set.count(1u));  // other local ports
+  EXPECT_FALSE(set.count(0u));  // never echo to the source port
+}
+
+TEST(XyTreeRoute, TrunkBranchesYOnly) {
+  CmeshGeometry g{8, 8};
+  const std::size_t r = g.router_at(2, 1);
+  // Flit travelling east (entered from W): continue E, branch N/S, locals.
+  const auto outs = xy_tree_route(g, r, CmeshGeometry::kPortW, 0);
+  std::set<std::size_t> set(outs.begin(), outs.end());
+  EXPECT_TRUE(set.count(CmeshGeometry::kPortE));
+  EXPECT_TRUE(set.count(CmeshGeometry::kPortN));
+  EXPECT_TRUE(set.count(CmeshGeometry::kPortS));
+  EXPECT_FALSE(set.count(CmeshGeometry::kPortW));
+  // Flit travelling south (entered from N): only continue south + locals.
+  const auto down = xy_tree_route(g, r, CmeshGeometry::kPortN, 0);
+  std::set<std::size_t> dset(down.begin(), down.end());
+  EXPECT_TRUE(dset.count(CmeshGeometry::kPortS));
+  EXPECT_FALSE(dset.count(CmeshGeometry::kPortE));
+  EXPECT_FALSE(dset.count(CmeshGeometry::kPortW));
+  EXPECT_FALSE(dset.count(CmeshGeometry::kPortN));
+}
+
+// ----------------------------------------------------------------- Network
+
+class MeshSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MeshSizeTest, BroadcastReachesEveryTileExactlyOnce) {
+  const std::size_t dim = GetParam();
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{dim, dim};
+  Network net(cfg);
+  const PacketId id = net.inject(PacketKind::kRemapRequest, 0, kBroadcast, 1);
+  net.run_until_idle();
+  const PacketStats& st = net.stats(id);
+  EXPECT_TRUE(st.complete);
+  EXPECT_EQ(st.deliveries, cfg.geometry.num_tiles() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSweep, MeshSizeTest,
+                         ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(Network, UnicastDeliveryAndLatency) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{4, 4};
+  Network net(cfg);
+  const PacketId id = net.inject(PacketKind::kRemapResponse, 0, 15, 1);
+  net.run_until_idle();
+  const PacketStats& st = net.stats(id);
+  EXPECT_TRUE(st.complete);
+  EXPECT_EQ(st.deliveries, 1u);
+  // Path: inject + 2 router hops + ejection; latency must be at least the
+  // hop count and bounded by a small constant above it.
+  EXPECT_GE(st.latency(), cfg.geometry.hop_count(0, 15));
+  EXPECT_LE(st.latency(), cfg.geometry.hop_count(0, 15) + 6);
+}
+
+TEST(Network, WormholeLatencyScalesWithLength) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{4, 4};
+  Network a(cfg), b(cfg);
+  const PacketId pa = a.inject(PacketKind::kWeightTransfer, 0, 15, 1);
+  a.run_until_idle();
+  const PacketId pb = b.inject(PacketKind::kWeightTransfer, 0, 15, 100);
+  b.run_until_idle();
+  // Pipeline: +99 serialization cycles for the 99 extra flits.
+  EXPECT_EQ(b.stats(pb).latency() - a.stats(pa).latency(), 99u);
+}
+
+TEST(Network, ManyPacketsAllDelivered) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{4, 4};
+  Network net(cfg);
+  Rng rng(1);
+  std::vector<PacketId> ids;
+  for (int i = 0; i < 60; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, 15));
+    auto dst = static_cast<NodeId>(rng.uniform_int(0, 15));
+    if (dst == src) dst = (dst + 1) % 16;
+    ids.push_back(net.inject(PacketKind::kTraining, src, dst,
+                             1 + static_cast<std::size_t>(
+                                     rng.uniform_int(0, 7))));
+  }
+  net.run_until_idle();
+  for (PacketId id : ids) EXPECT_TRUE(net.stats(id).complete);
+  EXPECT_GT(net.mean_latency(), 0.0);
+  EXPECT_GT(net.flit_hops(), 0u);
+}
+
+TEST(Network, ConcurrentBroadcastsFromMultipleSenders) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{4, 4};
+  Network net(cfg);
+  std::vector<PacketId> ids;
+  for (NodeId s : {0u, 5u, 10u, 15u})
+    ids.push_back(net.inject(PacketKind::kRemapRequest, s, kBroadcast, 1));
+  net.run_until_idle();
+  for (PacketId id : ids)
+    EXPECT_EQ(net.stats(id).deliveries, 15u);
+}
+
+TEST(Network, InjectValidation) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{2, 2};
+  Network net(cfg);
+  EXPECT_THROW(net.inject(PacketKind::kTraining, 99, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(net.inject(PacketKind::kTraining, 0, 99, 1),
+               std::invalid_argument);
+  EXPECT_THROW(net.inject(PacketKind::kTraining, 0, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(net.inject(PacketKind::kTraining, 1, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Network, IdleWhenEmpty) {
+  NocConfig cfg;
+  Network net(cfg);
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.run_until_idle(), 0u);
+  net.inject(PacketKind::kTraining, 0, 1, 2);
+  EXPECT_FALSE(net.idle());
+}
+
+// ----------------------------------------------------------------- Traffic
+
+TEST(Traffic, WeightTransferFlitCount) {
+  // 128x128 cells x 16-bit over 64-bit flits = 4096 flits (§III.B.4 sizing).
+  EXPECT_EQ(weight_transfer_flits(128, 128), 4096u);
+  EXPECT_EQ(weight_transfer_flits(32, 32), 256u);
+  EXPECT_EQ(weight_transfer_flits(1, 1, 16, 64), 1u);  // rounds up
+}
+
+TEST(Traffic, RemapProtocolThreePhases) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{4, 4};
+  const std::vector<NodeId> senders = {0, 15};
+  const std::vector<std::vector<NodeId>> responders = {{1, 2, 3}, {12, 14}};
+  const std::vector<RemapPair> pairs = {{0, 1}, {15, 14}};
+  const RemapTrafficResult res =
+      simulate_remap_protocol(cfg, senders, responders, pairs, 64);
+  EXPECT_GT(res.request_cycles, 0u);
+  EXPECT_GT(res.response_cycles, 0u);
+  EXPECT_GT(res.transfer_cycles, 0u);
+  EXPECT_EQ(res.total_cycles,
+            res.request_cycles + res.response_cycles + res.transfer_cycles);
+  // 2 broadcasts + 5 responses + 4 transfers.
+  EXPECT_EQ(res.packets, 11u);
+}
+
+TEST(Traffic, ParallelPairsCheaperThanSerial) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{4, 4};
+  // Two disjoint short-range pairs in one round...
+  const RemapTrafficResult both = simulate_remap_protocol(
+      cfg, {0, 15}, {{1}, {14}}, {{0, 1}, {15, 14}}, 512);
+  // ...versus the same two pairs in two separate rounds.
+  const RemapTrafficResult first =
+      simulate_remap_protocol(cfg, {0}, {{1}}, {{0, 1}}, 512);
+  const RemapTrafficResult second =
+      simulate_remap_protocol(cfg, {15}, {{14}}, {{15, 14}}, 512);
+  EXPECT_LT(both.transfer_cycles,
+            first.transfer_cycles + second.transfer_cycles);
+}
+
+TEST(Traffic, OverheadPercentAgainstEpochModel) {
+  RemapTrafficResult res;
+  res.total_cycles = 4000;
+  EpochTrafficModel epoch;  // 2e6 cycles
+  EXPECT_NEAR(remap_overhead_percent(res, epoch), 0.2, 1e-9);
+}
+
+TEST(Traffic, MonteCarloProducesRequestedRounds) {
+  NocConfig cfg;
+  cfg.geometry = CmeshGeometry{4, 4};
+  Rng rng(5);
+  const MonteCarloResult mc = monte_carlo_remap_overhead(
+      cfg, 10, 3, weight_transfer_flits(32, 32), EpochTrafficModel{}, rng);
+  EXPECT_EQ(mc.overhead_percent.size(), 10u);
+  EXPECT_GT(mc.mean, 0.0);
+  EXPECT_GE(mc.worst, mc.mean);
+  for (double v : mc.overhead_percent) EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace noc
+}  // namespace remapd

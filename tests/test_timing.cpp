@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "bist/fsm.hpp"
+#include "trainer/timing_model.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(TimingModel, ComponentsAdditive) {
+  const EpochTiming t = estimate_epoch_timing(PipelineTimingConfig{});
+  EXPECT_GT(t.compute_cycles, 0u);
+  EXPECT_GT(t.write_cycles, 0u);
+  EXPECT_EQ(t.total_cycles, t.compute_cycles + t.write_cycles);
+  EXPECT_NEAR(t.milliseconds,
+              static_cast<double>(t.total_cycles) * 100.0 / 1e6, 1e-9);
+}
+
+TEST(TimingModel, CifarScaleEpochIsTensOfMilliseconds) {
+  const EpochTiming t = estimate_epoch_timing(PipelineTimingConfig{});
+  EXPECT_GT(t.milliseconds, 10.0);
+  EXPECT_LT(t.milliseconds, 100.0);
+}
+
+TEST(TimingModel, BistOverheadMatchesPaper) {
+  // The headline §III.B.3 claim: 260 cycles of BIST against one epoch of
+  // pipelined training is ~0.13 %.
+  const EpochTiming t = estimate_epoch_timing(PipelineTimingConfig{});
+  const double pct = t.overhead_percent(BistFsm::total_cycles(128));
+  EXPECT_GT(pct, 0.10);
+  EXPECT_LT(pct, 0.16);
+}
+
+TEST(TimingModel, ScalesWithImages) {
+  PipelineTimingConfig half;
+  half.images_per_epoch = 25000;
+  const EpochTiming a = estimate_epoch_timing(PipelineTimingConfig{});
+  const EpochTiming b = estimate_epoch_timing(half);
+  EXPECT_GT(a.total_cycles, static_cast<std::uint64_t>(
+                                1.9 * static_cast<double>(b.total_cycles)));
+}
+
+TEST(TimingModel, OverheadZeroOnEmptyEpoch) {
+  EpochTiming empty;
+  EXPECT_DOUBLE_EQ(empty.overhead_percent(100), 0.0);
+}
+
+}  // namespace
+}  // namespace remapd

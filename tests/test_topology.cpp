@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+
+namespace remapd {
+namespace noc {
+namespace {
+
+TEST(Topology, MeshBasics) {
+  const TopologyStats s = analyze_mesh(4, 4);
+  EXPECT_EQ(s.routers, 16u);
+  EXPECT_EQ(s.ports_per_router, 5u);
+  EXPECT_EQ(s.max_hops, 6u);  // corner to corner
+  EXPECT_EQ(s.broadcast_tree_links, 15u);
+  EXPECT_GT(s.avg_hops, 0.0);
+}
+
+TEST(Topology, CmeshBasics) {
+  const TopologyStats s = analyze_cmesh(4, 4);
+  EXPECT_EQ(s.routers, 4u);
+  EXPECT_EQ(s.ports_per_router, 8u);
+  EXPECT_EQ(s.max_hops, 2u);
+  EXPECT_EQ(s.broadcast_tree_links, 3u);
+}
+
+class TopologySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopologySweep, CmeshDominatesMesh) {
+  const std::size_t dim = GetParam();
+  const TopologyStats mesh = analyze_mesh(dim, dim);
+  const TopologyStats cmesh = analyze_cmesh(dim, dim);
+  // The §III.B.1 claims: fewer routers, lower hop counts, smaller
+  // broadcast tree, less total switch area.
+  EXPECT_EQ(cmesh.routers * 4, mesh.routers);
+  EXPECT_LT(cmesh.avg_hops, mesh.avg_hops);
+  EXPECT_LE(cmesh.max_hops, mesh.max_hops);
+  EXPECT_LT(cmesh.broadcast_tree_links, mesh.broadcast_tree_links);
+  EXPECT_LT(cmesh.relative_router_area, mesh.relative_router_area);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, TopologySweep,
+                         ::testing::Values(4, 6, 8, 12, 16));
+
+TEST(Topology, AvgHopsMatchesHandComputation) {
+  // 2x2 tiles on a c-mesh collapse into one router: all hops zero.
+  const TopologyStats s = analyze_cmesh(2, 2);
+  EXPECT_EQ(s.routers, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_hops, 0.0);
+  EXPECT_EQ(s.max_hops, 0u);
+
+  // 1x2 mesh: the only pair is one hop apart.
+  const TopologyStats m = analyze_mesh(2, 1);
+  EXPECT_DOUBLE_EQ(m.avg_hops, 1.0);
+}
+
+}  // namespace
+}  // namespace noc
+}  // namespace remapd

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "trainer/fault_aware_trainer.hpp"
+
+namespace remapd {
+namespace {
+
+/// Tiny configuration so each integration run takes ~a second.
+TrainerConfig tiny(const std::string& model = "vgg11") {
+  TrainerConfig cfg;
+  cfg.model = model;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  cfg.data.train = 48;
+  cfg.data.test = 32;
+  cfg.data.image_size = 12;
+  return cfg;
+}
+
+TEST(Trainer, IdealRunProducesHistory) {
+  TrainerConfig cfg = tiny();
+  cfg.faults = FaultScenario::ideal();
+  const TrainResult r = train_with_faults(cfg);
+  EXPECT_EQ(r.model, "vgg11");
+  EXPECT_EQ(r.policy, "none");
+  EXPECT_EQ(r.dataset, "cifar10-like");
+  ASSERT_EQ(r.history.size(), 2u);
+  for (const EpochRecord& e : r.history) {
+    EXPECT_GE(e.test_accuracy, 0.0);
+    EXPECT_LE(e.test_accuracy, 1.0);
+    EXPECT_TRUE(std::isfinite(e.train_loss));
+    EXPECT_EQ(e.total_faults, 0u);
+  }
+  EXPECT_EQ(r.final_test_accuracy, r.history.back().test_accuracy);
+  EXPECT_EQ(r.total_remaps, 0u);
+}
+
+TEST(Trainer, LossDecreasesOnIdealHardware) {
+  TrainerConfig cfg = tiny();
+  cfg.epochs = 4;
+  const TrainResult r = train_with_faults(cfg);
+  EXPECT_LT(r.history.back().train_loss, r.history.front().train_loss);
+}
+
+TEST(Trainer, DeterministicForSeed) {
+  TrainerConfig cfg = tiny();
+  cfg.faults = FaultScenario::paper_default();
+  cfg.policy = "remap-d";
+  const TrainResult a = train_with_faults(cfg);
+  const TrainResult b = train_with_faults(cfg);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].test_accuracy, b.history[i].test_accuracy);
+    EXPECT_EQ(a.history[i].total_faults, b.history[i].total_faults);
+    EXPECT_EQ(a.history[i].remaps, b.history[i].remaps);
+  }
+}
+
+TEST(Trainer, SeedChangesOutcome) {
+  TrainerConfig a = tiny(), b = tiny();
+  b.seed = a.seed + 1;
+  a.faults = b.faults = FaultScenario::paper_default();
+  const TrainResult ra = train_with_faults(a);
+  const TrainResult rb = train_with_faults(b);
+  EXPECT_NE(ra.history.back().total_faults, rb.history.back().total_faults);
+}
+
+TEST(Trainer, FaultScenarioInjectsAndAccumulates) {
+  TrainerConfig cfg = tiny();
+  cfg.faults = FaultScenario::paper_default();
+  const TrainResult r = train_with_faults(cfg);
+  EXPECT_GT(r.history.front().total_faults, 0u);
+  // Post-deployment faults accumulate epoch over epoch.
+  EXPECT_GE(r.history.back().total_faults, r.history.front().total_faults);
+  EXPECT_GT(r.history.back().mean_density_est, 0.0);
+}
+
+TEST(Trainer, BistCyclesReportedWhenEnabled) {
+  TrainerConfig cfg = tiny();
+  cfg.faults = FaultScenario::paper_default();
+  cfg.use_bist_estimates = true;
+  const TrainResult r = train_with_faults(cfg);
+  EXPECT_EQ(r.history.back().bist_cycles,
+            2 * (cfg.xbar_size + 2));  // survey cost of one crossbar
+
+  TrainerConfig truth = tiny();
+  truth.faults = FaultScenario::paper_default();
+  truth.use_bist_estimates = false;
+  EXPECT_EQ(train_with_faults(truth).history.back().bist_cycles, 0u);
+}
+
+TEST(Trainer, RemapDPerformsRemapsUnderFaults) {
+  TrainerConfig cfg = tiny();
+  cfg.faults = FaultScenario::paper_default();
+  cfg.policy = "remap-d";
+  const TrainResult r = train_with_faults(cfg);
+  EXPECT_GT(r.total_remaps, 0u);
+  EXPECT_EQ(r.policy, "remap-d");
+}
+
+TEST(Trainer, PhaseTargetedInjectionHitsOnlyThatPhase) {
+  TrainerConfig cfg = tiny();
+  cfg.faults = FaultScenario::uniform(0.02);
+  cfg.fault_target = PhaseFaultTarget::kForwardOnly;
+  FaultAwareTrainer trainer(cfg);
+  (void)trainer.run();
+
+  const WeightMapper& mapper = trainer.mapper();
+  const Rcs& rcs = trainer.rcs();
+  std::size_t fwd_faults = 0, bwd_faults = 0;
+  for (XbarId x : mapper.xbars_of_phase(Phase::kForward))
+    fwd_faults += rcs.crossbar(x).fault_count();
+  for (XbarId x : mapper.xbars_of_phase(Phase::kBackward))
+    bwd_faults += rcs.crossbar(x).fault_count();
+  EXPECT_GT(fwd_faults, 0u);
+  EXPECT_EQ(bwd_faults, 0u);
+}
+
+TEST(Trainer, PolicyAreaOverheadPropagated) {
+  TrainerConfig cfg = tiny();
+  cfg.policy = "an-code";
+  EXPECT_DOUBLE_EQ(train_with_faults(cfg).policy_area_overhead_percent, 6.3);
+  cfg.policy = "remap-t-10";
+  EXPECT_DOUBLE_EQ(train_with_faults(cfg).policy_area_overhead_percent, 10.0);
+}
+
+TEST(Trainer, RcsSizedForModel) {
+  TrainerConfig cfg = tiny("resnet12");
+  FaultAwareTrainer trainer(cfg);
+  EXPECT_GE(trainer.rcs().total_crossbars(), trainer.mapper().num_tasks());
+  EXPECT_GT(trainer.mapper().num_tasks(), 0u);
+}
+
+TEST(Trainer, RecommendedConfigKnowsTheZoo) {
+  const TrainerConfig vgg = recommended_config("vgg19");
+  EXPECT_EQ(vgg.model, "vgg19");
+  EXPECT_LT(vgg.sgd.lr, recommended_config("resnet18").sgd.lr);
+  EXPECT_EQ(recommended_config("resnet12").epochs, 8u);
+}
+
+TEST(Trainer, EnvOverridesApply) {
+  TrainerConfig cfg = tiny();
+  setenv("REMAPD_EPOCHS", "3", 1);
+  setenv("REMAPD_TRAIN", "64", 1);
+  setenv("REMAPD_TEST", "16", 1);
+  apply_env_overrides(cfg);
+  unsetenv("REMAPD_EPOCHS");
+  unsetenv("REMAPD_TRAIN");
+  unsetenv("REMAPD_TEST");
+  EXPECT_EQ(cfg.epochs, 3u);
+  EXPECT_EQ(cfg.data.train, 64u);
+  EXPECT_EQ(cfg.data.test, 16u);
+}
+
+TEST(Trainer, UnknownModelOrPolicyThrows) {
+  TrainerConfig cfg = tiny();
+  cfg.model = "lenet";
+  EXPECT_THROW(FaultAwareTrainer{cfg}, std::invalid_argument);
+  TrainerConfig cfg2 = tiny();
+  cfg2.policy = "hope";
+  EXPECT_THROW(FaultAwareTrainer{cfg2}, std::invalid_argument);
+}
+
+
+TEST(Trainer, RecommendedConfigWidensFragileModels) {
+  // VGG-19 and SqueezeNet get 1.5x width (see DESIGN.md calibration §6.10).
+  EXPECT_EQ(recommended_config("vgg19").model_cfg.base_width, 12u);
+  EXPECT_EQ(recommended_config("squeezenet").model_cfg.base_width, 12u);
+  EXPECT_EQ(recommended_config("resnet18").model_cfg.base_width, 8u);
+}
+
+TEST(Trainer, RcsHasMinimumMeshSize) {
+  // Even a tiny model runs on at least the 4x4-tile chip of Fig. 3.
+  TrainerConfig cfg = tiny("squeezenet");
+  FaultAwareTrainer trainer(cfg);
+  EXPECT_GE(trainer.rcs().num_tiles(), 16u);
+}
+
+TEST(Trainer, MappingStaysBijectiveAfterRemapping) {
+  TrainerConfig cfg = tiny("resnet12");
+  cfg.epochs = 3;
+  cfg.faults = FaultScenario::paper_default_compressed(cfg.epochs);
+  cfg.policy = "remap-d";
+  FaultAwareTrainer trainer(cfg);
+  const TrainResult r = trainer.run();
+  EXPECT_GT(r.total_remaps, 0u);
+
+  const WeightMapper& mapper = trainer.mapper();
+  std::set<XbarId> used;
+  for (TaskId t = 0; t < mapper.num_tasks(); ++t) {
+    const XbarId x = mapper.xbar_of(t);
+    EXPECT_TRUE(used.insert(x).second) << "crossbar " << x << " reused";
+    EXPECT_EQ(mapper.task_on(x), t);
+  }
+  // Every crossbar not in `used` must be idle.
+  for (XbarId x = 0; x < trainer.rcs().total_crossbars(); ++x) {
+    if (!used.count(x)) {
+      EXPECT_EQ(mapper.task_on(x), kNoTask);
+    }
+  }
+}
+
+TEST(Trainer, MechanisticEnduranceProducesWearFaults) {
+  TrainerConfig cfg = tiny("vgg11");
+  cfg.epochs = 3;
+  cfg.faults = FaultScenario::ideal();
+  cfg.faults.enable_post = true;
+  cfg.faults.mechanistic_endurance = true;
+  cfg.faults.endurance.characteristic_writes = 60.0;  // fast wear for test
+  const TrainResult r = train_with_faults(cfg);
+  EXPECT_GT(r.history.back().total_faults, 0u);
+  // Wear grows with accumulated writes epoch over epoch.
+  EXPECT_GE(r.history.back().total_faults, r.history.front().total_faults);
+}
+// The central integration property: backward-phase faults hurt training
+// far more than the same density of forward-phase faults (Fig. 5), and
+// Remap-D recovers most of the loss under the combined scenario (Fig. 6).
+// These run a few epochs and are the slowest tests in the suite.
+
+TEST(TrainerSlow, BackwardFaultsHurtMoreThanForward) {
+  TrainerConfig base = tiny("resnet12");
+  base.epochs = 5;
+  base.data.train = 128;
+  base.data.test = 64;
+  base.data.image_size = 16;
+  base.faults = FaultScenario::uniform(0.02);
+
+  TrainerConfig fwd = base;
+  fwd.fault_target = PhaseFaultTarget::kForwardOnly;
+  TrainerConfig bwd = base;
+  bwd.fault_target = PhaseFaultTarget::kBackwardOnly;
+
+  const double acc_fwd = train_with_faults(fwd).final_test_accuracy;
+  const double acc_bwd = train_with_faults(bwd).final_test_accuracy;
+  EXPECT_GT(acc_fwd, acc_bwd + 0.15);
+}
+
+TEST(TrainerSlow, RemapDBeatsNoProtection) {
+  TrainerConfig base = tiny("resnet12");
+  base.epochs = 5;
+  base.data.train = 128;
+  base.data.test = 64;
+  base.data.image_size = 16;
+  base.faults = FaultScenario::paper_default_compressed(base.epochs);
+
+  TrainerConfig none = base;
+  none.policy = "none";
+  TrainerConfig remap = base;
+  remap.policy = "remap-d";
+
+  const double acc_none = train_with_faults(none).final_test_accuracy;
+  const double acc_remap = train_with_faults(remap).final_test_accuracy;
+  EXPECT_GT(acc_remap, acc_none);
+}
+
+}  // namespace
+}  // namespace remapd

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "xbar/fault_model.hpp"
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+namespace {
+
+TEST(Crossbar, ConstructionAndCellCount) {
+  Crossbar xb(128, 128);
+  EXPECT_EQ(xb.rows(), 128u);
+  EXPECT_EQ(xb.cols(), 128u);
+  EXPECT_EQ(xb.cell_count(), 16384u);
+  EXPECT_EQ(xb.fault_count(), 0u);
+  EXPECT_EQ(xb.fault_density(), 0.0);
+  EXPECT_THROW(Crossbar(0, 4), std::invalid_argument);
+}
+
+TEST(Crossbar, InjectSingleFault) {
+  Crossbar xb(8, 8);
+  Rng rng(1);
+  EXPECT_TRUE(xb.inject_fault(2, 3, CellFault::kStuckAt1, rng));
+  EXPECT_EQ(xb.fault_at(2, 3), CellFault::kStuckAt1);
+  EXPECT_EQ(xb.fault_count(), 1u);
+  // Idempotent: a faulty cell is not re-typed.
+  EXPECT_FALSE(xb.inject_fault(2, 3, CellFault::kStuckAt0, rng));
+  EXPECT_EQ(xb.fault_at(2, 3), CellFault::kStuckAt1);
+  EXPECT_THROW(xb.inject_fault(9, 0, CellFault::kStuckAt1, rng),
+               std::out_of_range);
+  EXPECT_FALSE(xb.inject_fault(0, 0, CellFault::kNone, rng));
+}
+
+TEST(Crossbar, StuckResistanceWithinBands) {
+  Crossbar xb(16, 16);
+  Rng rng(2);
+  xb.inject_random_faults(64, 0.5, rng);
+  const CellParams& p = xb.params();
+  for (const auto& [r, c] : xb.faulty_cells()) {
+    const double res = xb.stuck_resistance_at(r, c);
+    if (xb.fault_at(r, c) == CellFault::kStuckAt1) {
+      EXPECT_GE(res, p.sa1_r_lo);
+      EXPECT_LE(res, p.sa1_r_hi);
+    } else {
+      EXPECT_GE(res, p.sa0_r_lo);
+      EXPECT_LE(res, p.sa0_r_hi);
+    }
+  }
+}
+
+TEST(Crossbar, RandomInjectionCountExact) {
+  Crossbar xb(32, 32);
+  Rng rng(3);
+  EXPECT_EQ(xb.inject_random_faults(50, 0.9, rng), 50u);
+  EXPECT_EQ(xb.fault_count(), 50u);
+  EXPECT_EQ(xb.faulty_cells().size(), 50u);
+}
+
+TEST(Crossbar, InjectionSaturatesAtFullArray) {
+  Crossbar xb(4, 4);
+  Rng rng(4);
+  EXPECT_EQ(xb.inject_random_faults(100, 0.5, rng), 16u);
+  EXPECT_EQ(xb.fault_density(), 1.0);
+}
+
+TEST(Crossbar, Sa0Sa1RatioApproximatelyNineToOne) {
+  Crossbar xb(128, 128);
+  Rng rng(5);
+  xb.inject_random_faults(2000, 0.9, rng);
+  const double sa0 = static_cast<double>(xb.fault_count(CellFault::kStuckAt0));
+  const double sa1 = static_cast<double>(xb.fault_count(CellFault::kStuckAt1));
+  EXPECT_NEAR(sa0 / (sa0 + sa1), 0.9, 0.03);
+}
+
+TEST(Crossbar, ClusteredInjectionIsMoreConcentrated) {
+  // Clustered faults should have a smaller mean pairwise distance than
+  // uniform faults (the [16] clustering property).
+  auto mean_pairwise = [](const Crossbar& xb) {
+    const auto cells = xb.faulty_cells();
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      for (std::size_t j = i + 1; j < cells.size(); ++j, ++n) {
+        const double dr = static_cast<double>(cells[i].first) -
+                          static_cast<double>(cells[j].first);
+        const double dc = static_cast<double>(cells[i].second) -
+                          static_cast<double>(cells[j].second);
+        sum += std::sqrt(dr * dr + dc * dc);
+      }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  };
+
+  double clustered = 0.0, uniform = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Crossbar a(128, 128), b(128, 128);
+    Rng ra(seed), rb(seed + 100);
+    a.inject_clustered_faults(100, 0.9, 1, ra);
+    b.inject_random_faults(100, 0.9, rb);
+    clustered += mean_pairwise(a);
+    uniform += mean_pairwise(b);
+  }
+  EXPECT_LT(clustered, uniform * 0.8);
+}
+
+TEST(Crossbar, WriteCounterAccumulates) {
+  Crossbar xb(4, 4);
+  EXPECT_EQ(xb.array_writes(), 0u);
+  xb.record_array_write();
+  xb.record_array_write();
+  EXPECT_EQ(xb.array_writes(), 2u);
+}
+
+// --------------------------------------------------------------------- Ima
+
+TEST(Ima, PeripheralInventoryScales) {
+  Ima ima(4, 128, 128);
+  EXPECT_EQ(ima.size(), 4u);
+  EXPECT_EQ(ima.peripherals().dacs, 4u * 128u);
+  EXPECT_EQ(ima.peripherals().adcs, 4u);
+  EXPECT_EQ(ima.peripherals().sample_holds, 4u * 128u);
+  EXPECT_TRUE(ima.peripherals().has_bist);
+}
+
+TEST(Ima, MeanFaultDensity) {
+  Ima ima(2, 10, 10);
+  Rng rng(6);
+  ima.crossbar(0).inject_random_faults(10, 0.5, rng);  // 10%
+  EXPECT_NEAR(ima.mean_fault_density(), 0.05, 1e-9);
+}
+
+// -------------------------------------------------------------------- Tile
+
+TEST(Tile, FlatCrossbarIndexing) {
+  Tile tile(3, 2, 4, 8, 8);
+  EXPECT_EQ(tile.id(), 3u);
+  EXPECT_EQ(tile.num_imas(), 2u);
+  EXPECT_EQ(tile.crossbars_per_tile(), 8u);
+  EXPECT_NO_THROW(tile.crossbar(7));
+  EXPECT_THROW(tile.crossbar(8), std::out_of_range);
+  // Local index 5 lands in the second IMA.
+  Rng rng(7);
+  tile.crossbar(5).inject_fault(0, 0, CellFault::kStuckAt0, rng);
+  EXPECT_EQ(tile.ima(1).crossbar(1).fault_count(), 1u);
+}
+
+// --------------------------------------------------------------------- Rcs
+
+TEST(Rcs, GeometryAndIndexing) {
+  RcsConfig cfg;
+  cfg.tiles_x = 4;
+  cfg.tiles_y = 4;
+  cfg.imas_per_tile = 2;
+  cfg.xbars_per_ima = 4;
+  cfg.xbar_rows = cfg.xbar_cols = 16;
+  Rcs rcs(cfg);
+  EXPECT_EQ(rcs.num_tiles(), 16u);
+  EXPECT_EQ(rcs.total_crossbars(), 128u);
+  EXPECT_EQ(rcs.tile_of(0), 0u);
+  EXPECT_EQ(rcs.tile_of(7), 0u);
+  EXPECT_EQ(rcs.tile_of(8), 1u);
+  EXPECT_EQ(rcs.tile_of(127), 15u);
+}
+
+TEST(Rcs, TileDistanceIsManhattan) {
+  RcsConfig cfg;
+  cfg.tiles_x = 4;
+  cfg.tiles_y = 4;
+  Rcs rcs(cfg);
+  EXPECT_EQ(rcs.tile_distance(0, 0), 0u);
+  EXPECT_EQ(rcs.tile_distance(0, 3), 3u);   // same row
+  EXPECT_EQ(rcs.tile_distance(0, 15), 6u);  // corner to corner
+  EXPECT_EQ(rcs.tile_distance(5, 10), rcs.tile_distance(10, 5));
+}
+
+TEST(Rcs, SizedForProvidesEnoughCrossbars) {
+  for (std::size_t need : {1u, 10u, 100u, 322u, 1000u}) {
+    RcsConfig cfg = RcsConfig::sized_for(need, 32, 32);
+    EXPECT_GE(cfg.total_crossbars(), need) << need;
+    EXPECT_GE(cfg.num_tiles(), 4u);
+  }
+}
+
+TEST(Rcs, DensityQueriesMatchGroundTruth) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 2;
+  cfg.xbar_rows = cfg.xbar_cols = 10;
+  Rcs rcs(cfg);
+  Rng rng(8);
+  rcs.crossbar(0).inject_random_faults(10, 0.5, rng);  // density 0.1
+  const auto densities = rcs.fault_densities();
+  EXPECT_EQ(densities.size(), rcs.total_crossbars());
+  EXPECT_NEAR(densities[0], 0.1, 1e-9);
+  EXPECT_EQ(densities[1], 0.0);
+  EXPECT_NEAR(rcs.mean_fault_density(),
+              0.1 / static_cast<double>(rcs.total_crossbars()), 1e-9);
+}
+
+// ------------------------------------------------------------- FaultModel
+
+TEST(FaultScenario, Constructors) {
+  const FaultScenario ideal = FaultScenario::ideal();
+  EXPECT_FALSE(ideal.enable_pre);
+  EXPECT_FALSE(ideal.enable_post);
+
+  const FaultScenario uni = FaultScenario::uniform(0.02);
+  EXPECT_EQ(uni.high_density_lo, 0.02);
+  EXPECT_EQ(uni.low_density_hi, 0.02);
+  EXPECT_FALSE(uni.enable_post);
+
+  const FaultScenario def = FaultScenario::paper_default();
+  EXPECT_TRUE(def.enable_pre);
+  EXPECT_TRUE(def.enable_post);
+  EXPECT_DOUBLE_EQ(def.post_xbar_fraction, 0.01);
+  EXPECT_DOUBLE_EQ(def.post_cell_fraction, 0.005);
+
+  const FaultScenario comp = FaultScenario::paper_default_compressed(10);
+  EXPECT_DOUBLE_EQ(comp.post_xbar_fraction, 0.05);  // x5 for 10 vs 50 epochs
+  EXPECT_DOUBLE_EQ(comp.post_cell_fraction, def.post_cell_fraction);
+}
+
+TEST(FaultInjector, PreDeploymentRespectsNonUniformSplit) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 5;  // 25 tiles x 8 = 200 crossbars
+  cfg.xbar_rows = cfg.xbar_cols = 64;
+  Rcs rcs(cfg);
+  Rng rng(9);
+  FaultInjector injector(FaultScenario::paper_default(), rng);
+  injector.inject_pre_deployment(rcs);
+
+  std::size_t high = 0, over_limit = 0;
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x) {
+    const double d = rcs.crossbar(x).fault_density();
+    if (d > 0.004) ++high;
+    if (d > 0.0105) ++over_limit;  // small slack over the 1% cap
+  }
+  // ~20% of crossbars should be in the high-density band.
+  EXPECT_NEAR(static_cast<double>(high) / 200.0, 0.20, 0.07);
+  EXPECT_EQ(over_limit, 0u);
+}
+
+TEST(FaultInjector, PostDeploymentAddsFaultsEachEpoch) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 4;
+  cfg.xbar_rows = cfg.xbar_cols = 64;
+  Rcs rcs(cfg);
+  Rng rng(10);
+  FaultScenario sc = FaultScenario::ideal();
+  sc.enable_post = true;
+  sc.post_xbar_fraction = 0.05;
+  sc.post_cell_fraction = 0.01;
+  FaultInjector injector(sc, rng);
+
+  std::size_t before = 0;
+  const std::size_t added = injector.inject_post_deployment(rcs);
+  EXPECT_GT(added, 0u);
+  std::size_t after = 0;
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x) {
+    before += 0;
+    after += rcs.crossbar(x).fault_count();
+  }
+  EXPECT_EQ(after, added);
+}
+
+TEST(FaultInjector, PostDeploymentBiasedTowardWrittenCrossbars) {
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 4;
+  cfg.xbar_rows = cfg.xbar_cols = 32;
+  Rcs rcs(cfg);
+  // Crossbars 0..15 written heavily; the rest untouched.
+  for (int w = 0; w < 500; ++w)
+    for (XbarId x = 0; x < 16; ++x) rcs.crossbar(x).record_array_write();
+
+  Rng rng(11);
+  FaultScenario sc = FaultScenario::ideal();
+  sc.enable_post = true;
+  sc.post_xbar_fraction = 0.1;  // ~12 crossbars per call
+  sc.post_cell_fraction = 0.01;
+  FaultInjector injector(sc, rng);
+  for (int e = 0; e < 10; ++e) injector.inject_post_deployment(rcs);
+
+  std::size_t written_faults = 0, idle_faults = 0;
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x) {
+    if (x < 16) written_faults += rcs.crossbar(x).fault_count();
+    else idle_faults += rcs.crossbar(x).fault_count();
+  }
+  EXPECT_GT(written_faults, idle_faults * 2);
+}
+
+TEST(FaultInjector, IdealScenarioInjectsNothing) {
+  RcsConfig cfg;
+  Rcs rcs(cfg);
+  Rng rng(12);
+  FaultInjector injector(FaultScenario::ideal(), rng);
+  EXPECT_EQ(injector.inject_pre_deployment(rcs), 0u);
+  EXPECT_EQ(injector.inject_post_deployment(rcs), 0u);
+  EXPECT_EQ(rcs.mean_fault_density(), 0.0);
+}
+
+}  // namespace
+}  // namespace remapd
