@@ -7,6 +7,7 @@
 
 #include "bist/controller.hpp"
 #include "bist/march.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trainer/timing_model.hpp"
 #include "util/env.hpp"
 #include "xbar/rcs.hpp"
@@ -65,5 +66,8 @@ int main() {
   // writes (one array write per batch; 391 batches at CIFAR scale).
   std::printf("BIST adds 2 array writes per epoch — negligible against the "
               "per-batch weight-update writes.\n");
+
+  if (telemetry::enabled())
+    std::fputs(telemetry::summary_table().c_str(), stderr);
   return 0;
 }

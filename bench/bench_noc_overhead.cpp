@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "noc/traffic.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -65,5 +66,10 @@ int main() {
   std::printf("  stddev           : %.3f%%\n",
               stddev_of(mc.overhead_percent));
   std::printf("[noc] wrote noc_overhead.csv\n");
+
+  // With REMAPD_TRACE/REMAPD_METRICS set, the flit/hop counters and the
+  // per-round latency histogram of the 50 simulated rounds land here.
+  if (telemetry::enabled())
+    std::fputs(telemetry::summary_table().c_str(), stderr);
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "telemetry/telemetry.hpp"
 #include "trainer/fault_aware_trainer.hpp"
 #include "util/csv.hpp"
 
@@ -104,24 +105,29 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.seed));
 
   const TrainResult r = train_with_faults(cfg);
-  std::printf("%6s %10s %10s %10s %8s %10s\n", "epoch", "loss", "train_acc",
-              "test_acc", "remaps", "faults");
+  std::printf("%6s %10s %10s %10s %8s %10s %10s\n", "epoch", "loss",
+              "train_acc", "test_acc", "remaps", "faults", "new_faults");
   for (const EpochRecord& e : r.history)
-    std::printf("%6zu %10.4f %10.3f %10.3f %8zu %10zu\n", e.epoch,
+    std::printf("%6zu %10.4f %10.3f %10.3f %8zu %10zu %10zu\n", e.epoch,
                 e.train_loss, e.train_accuracy, e.test_accuracy, e.remaps,
-                e.total_faults);
+                e.total_faults, e.new_faults);
   std::printf("final accuracy %.3f, total remaps %zu\n",
               r.final_test_accuracy, r.total_remaps);
 
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path);
     csv.header({"model", "policy", "dataset", "epoch", "loss", "train_acc",
-                "test_acc", "remaps", "faults"});
+                "test_acc", "remaps", "faults", "new_faults"});
     for (const EpochRecord& e : r.history)
       csv.row(cfg.model, cfg.policy, synth_name(cfg.data.kind), e.epoch,
               e.train_loss, e.train_accuracy, e.test_accuracy, e.remaps,
-              e.total_faults);
+              e.total_faults, e.new_faults);
     std::printf("wrote %s\n", csv_path.c_str());
   }
+
+  // Per-span timings and counters for this run (REMAPD_TRACE /
+  // REMAPD_METRICS additionally dump machine-readable files at exit).
+  if (telemetry::enabled())
+    std::fputs(telemetry::summary_table().c_str(), stderr);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "bist/controller.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "xbar/rcs.hpp"
 
 namespace remapd {
@@ -42,6 +43,9 @@ BistReport BistController::run(Crossbar& xb) const {
   report.elapsed_ns = static_cast<double>(report.cycles) * kReramCycleNs;
   report.density_estimate = static_cast<double>(report.total_estimate()) /
                             static_cast<double>(xb.cell_count());
+  telemetry::count("bist.runs");
+  telemetry::count("bist.faults_estimated", report.total_estimate());
+  telemetry::observe("bist.run_cycles", report.cycles);
   return report;
 }
 
@@ -56,6 +60,12 @@ std::vector<double> BistController::survey(Rcs& rcs,
     cycles = std::max(cycles, r.cycles);  // IMAs test concurrently
   }
   if (total_cycles) *total_cycles = cycles;
+
+  telemetry::count("bist.surveys");
+  telemetry::count("bist.crossbars_tested", rcs.total_crossbars());
+  // Wall-clock ReRAM cycles of the survey (IMAs run concurrently, so this
+  // is the max, not the sum).
+  telemetry::observe("bist.survey_cycles", cycles);
   return densities;
 }
 

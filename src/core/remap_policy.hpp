@@ -20,6 +20,7 @@
 
 #include "core/fault_density_map.hpp"
 #include "core/task.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tensor/tensor.hpp"
 
 namespace remapd {
@@ -80,6 +81,13 @@ class RemapPolicy {
   void record_event(XbarId sender, XbarId receiver) {
     events_.push_back(RemapEvent{sender, receiver});
     ++total_remaps_;
+    if (telemetry::enabled()) {
+      telemetry::Registry::instance().counter("core.remap.events").add();
+      telemetry::trace_instant(
+          "remap", "core",
+          "{\"sender\":" + std::to_string(sender) +
+              ",\"receiver\":" + std::to_string(receiver) + "}");
+    }
   }
 
  private:

@@ -2,8 +2,32 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace remapd {
 namespace noc {
+
+namespace {
+
+// Process-global NoC instruments, shared by every Network instance and
+// cached so the per-flit path costs one branch when telemetry is off.
+struct NocTelemetry {
+  telemetry::Counter& packets;
+  telemetry::Counter& flits;
+  telemetry::Counter& hops;
+  telemetry::Histogram& latency;
+};
+
+NocTelemetry& noc_telemetry() {
+  auto& reg = telemetry::Registry::instance();
+  static NocTelemetry t{reg.counter("noc.packets_injected"),
+                        reg.counter("noc.flits_injected"),
+                        reg.counter("noc.flit_hops"),
+                        reg.histogram("noc.packet_latency_cycles")};
+  return t;
+}
+
+}  // namespace
 
 Network::Network(NocConfig cfg) : cfg_(cfg) {
   routers_.reserve(cfg_.geometry.num_routers());
@@ -28,6 +52,11 @@ PacketId Network::inject(PacketKind kind, NodeId src, NodeId dst,
   st.packet = p;
   stats_.emplace(p.id, st);
   ++in_flight_;
+  if (telemetry::enabled()) {
+    NocTelemetry& telem = noc_telemetry();
+    telem.packets.add();
+    telem.flits.add(length_flits);
+  }
 
   for (std::size_t i = 0; i < length_flits; ++i) {
     Flit f;
@@ -139,6 +168,7 @@ bool Network::try_send(Router& r, std::size_t in_port, std::size_t out_port,
     if (nin_port.fifo.size() >= cfg_.fifo_depth) return false;
     nin_port.fifo.push_back(BufferedFlit{f, cycle_});
     ++flit_hops_;
+    if (telemetry::enabled()) noc_telemetry().hops.add();
   }
 
   // Manage the wormhole lock: head locks, tail releases.
@@ -161,6 +191,7 @@ void Network::record_ejection(std::size_t tile, const Flit& f) {
   if (st.deliveries >= expected && !st.complete) {
     st.complete = true;
     --in_flight_;
+    if (telemetry::enabled()) noc_telemetry().latency.record(st.latency());
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace remapd {
@@ -23,6 +24,7 @@ RemapTrafficResult simulate_remap_protocol(
   if (senders.size() != responders_per_sender.size())
     throw std::invalid_argument("simulate_remap_protocol: size mismatch");
 
+  REMAPD_TRACE_SPAN("remap-round", "noc");
   Network net(cfg);
   RemapTrafficResult res;
 
@@ -58,6 +60,12 @@ RemapTrafficResult simulate_remap_protocol(
   res.total_cycles =
       res.request_cycles + res.response_cycles + res.transfer_cycles;
   res.flit_hops = net.flit_hops();
+
+  telemetry::count("noc.remap_rounds");
+  telemetry::count("noc.remap_packets", res.packets);
+  // Simulated NoC cycles of the full three-phase round (the quantity behind
+  // the paper's 0.22 % overhead claim), as opposed to the span's wall time.
+  telemetry::observe("noc.remap_round_cycles", res.total_cycles);
   return res;
 }
 

@@ -1,0 +1,50 @@
+// Exporters for the telemetry registry and trace buffer:
+//
+//   chrome_trace_json()  chrome://tracing / Perfetto-loadable JSON array of
+//                        "ph":"X" (span) and "ph":"i" (instant) events
+//   jsonl()              one JSON object per line: every span/instant event,
+//                        then a metrics snapshot (counters, gauges,
+//                        histograms), each line tagged with a "type" field
+//   summary_table()      plain-text table: per-span-name count / total /
+//                        p50 / p95 / max, then counters, gauges, histograms
+//
+// Env wiring (read once at startup by init_from_env):
+//   REMAPD_TRACE=<path>    enable collection; write the Chrome trace to
+//                          <path> at process exit
+//   REMAPD_METRICS=<path>  enable collection; write the metrics to <path>
+//                          at exit — JSONL when <path> ends in ".jsonl",
+//                          plain-text summary otherwise
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace remapd {
+namespace telemetry {
+
+[[nodiscard]] std::string chrome_trace_json();
+[[nodiscard]] std::string jsonl();
+[[nodiscard]] std::string summary_table();
+
+/// Write `contents` to `path` ("-" for stdout). Returns success.
+bool write_file(const std::string& path, const std::string& contents);
+bool write_chrome_trace(const std::string& path);
+bool write_jsonl(const std::string& path);
+bool write_summary(const std::string& path);
+
+/// Read REMAPD_TRACE / REMAPD_METRICS once; if either is set, enable
+/// collection and register an atexit flush. Idempotent and cheap, runs
+/// automatically at static-init time of any instrumented binary.
+void init_from_env();
+
+/// Write the env-configured outputs now (also what the atexit hook runs).
+void flush_to_env_paths();
+
+/// Clear the trace buffer and zero every registry instrument (tests).
+void reset_all();
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace telemetry
+}  // namespace remapd

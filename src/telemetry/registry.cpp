@@ -1,0 +1,157 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace remapd {
+namespace telemetry {
+
+std::size_t Histogram::bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+  return std::min(b, kBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= kBuckets - 1) return UINT64_MAX;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+std::uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the quantile sample, 1-based; ceil so p=0.5 of 2 samples is the
+  // first, matching the nearest-rank definition.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(p * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += buckets_[b].load(std::memory_order_relaxed);
+    if (cum >= rank) return std::min(bucket_upper_bound(b), max());
+  }
+  return max();
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: atexit exporters must be able to read the registry
+  // after static destruction has begun.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramStats>> Registry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramStats>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h->stats());
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace telemetry
+}  // namespace remapd

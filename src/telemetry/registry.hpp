@@ -1,0 +1,133 @@
+// Process-wide registry of named counters, gauges, and fixed-bucket
+// histograms. Instruments the hot paths of the stack (GEMM/im2col, BIST
+// surveys, remap rounds, NoC traffic) so every bench and experiment can
+// report a perf trajectory.
+//
+// Design constraints:
+//   - Handles returned by the registry (`Counter&` etc.) are stable for the
+//     process lifetime, so call sites may cache them across calls.
+//   - All mutation is thread-safe with relaxed atomics: values are only read
+//     at export time, so no ordering is needed.
+//   - Collection is opt-in (see telemetry/trace.hpp): call sites gate their
+//     updates on `telemetry::enabled()`, a single relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace remapd {
+namespace telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written point-in-time value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Summary of a histogram at one point in time (for exporters).
+struct HistogramStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket power-of-two histogram of non-negative integer samples
+/// (nanoseconds, cycles, hop counts...). Bucket b >= 1 holds the values
+/// whose bit width is b, i.e. [2^(b-1), 2^b - 1]; bucket 0 holds zeros.
+/// Quantiles are therefore upper bounds with at most 2x relative error,
+/// which is plenty for p50/p95 reporting; exact sum/min/max are kept
+/// alongside.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v);
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum() const;
+  [[nodiscard]] std::uint64_t min() const;  ///< 0 when empty
+  [[nodiscard]] std::uint64_t max() const;
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]),
+  /// clamped to the observed max. 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+  [[nodiscard]] HistogramStats stats() const;
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  /// Largest value bucket `b` can hold.
+  static std::uint64_t bucket_upper_bound(std::size_t b);
+  static std::size_t bucket_index(std::uint64_t v);
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Name -> instrument map. Instruments are created on first access and live
+/// for the process lifetime (the singleton is intentionally leaked so
+/// atexit-time exporters never race instrument destruction).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Name-sorted snapshots for the exporters.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramStats>>
+  histograms() const;
+
+  /// Zero every instrument (registrations survive; cached handles stay
+  /// valid). Intended for tests.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace telemetry
+}  // namespace remapd

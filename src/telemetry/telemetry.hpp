@@ -1,0 +1,71 @@
+// Umbrella header for the telemetry subsystem: registry (counters, gauges,
+// histograms), RAII trace spans, and exporters, plus the small gated
+// helpers call sites actually use.
+//
+//   REMAPD_TRACE_SPAN("bist-survey", "trainer");           // scoped timer
+//   telemetry::count("core.remap.events");                 // cold-path add
+//   telemetry::KernelTimer t(calls, ns_hist);              // hot-path timer
+//
+// Everything is a no-op behind one relaxed atomic load until collection is
+// enabled (REMAPD_TRACE / REMAPD_METRICS env vars, or set_enabled(true)).
+#pragma once
+
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace remapd {
+namespace telemetry {
+
+/// Bump a named counter iff telemetry is enabled. Does a registry lookup;
+/// fine for per-epoch / per-round paths, use cached handles + KernelTimer
+/// for per-call hot loops.
+inline void count(const std::string& name, std::uint64_t n = 1) {
+  if (enabled()) Registry::instance().counter(name).add(n);
+}
+
+/// Set a named gauge iff telemetry is enabled.
+inline void gauge_set(const std::string& name, double v) {
+  if (enabled()) Registry::instance().gauge(name).set(v);
+}
+
+/// Record into a named histogram iff telemetry is enabled.
+inline void observe(const std::string& name, std::uint64_t v) {
+  if (enabled()) Registry::instance().histogram(name).record(v);
+}
+
+/// Hot-path scoped timer over cached handles: bumps `calls` on entry and
+/// records elapsed ns into `latency` on exit. Call sites keep the handles
+/// in function-local statics so the per-call cost when disabled is the
+/// single enabled() branch.
+class KernelTimer {
+ public:
+  KernelTimer(Counter& calls, Histogram& latency)
+      : latency_(latency), armed_(enabled()) {
+    if (armed_) {
+      calls.add();
+      start_ = now_ns();
+    }
+  }
+  ~KernelTimer() {
+    if (armed_) latency_.record(now_ns() - start_);
+  }
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  Histogram& latency_;
+  std::uint64_t start_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace telemetry
+}  // namespace remapd
+
+// Scoped span with a unique variable name; forwards to the TraceSpan ctor
+// (name, optional category, optional args-JSON).
+#define REMAPD_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define REMAPD_TELEMETRY_CONCAT(a, b) REMAPD_TELEMETRY_CONCAT_INNER(a, b)
+#define REMAPD_TRACE_SPAN(...)                               \
+  ::remapd::telemetry::TraceSpan REMAPD_TELEMETRY_CONCAT(    \
+      remapd_trace_span_, __LINE__)(__VA_ARGS__)

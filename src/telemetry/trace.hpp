@@ -1,0 +1,100 @@
+// RAII trace spans feeding an in-memory event buffer, with thread ids and
+// nesting depth, for Chrome-trace / JSONL export (telemetry/export.hpp).
+//
+// Collection is disabled by default. When disabled, every instrumentation
+// point costs one relaxed atomic load and branch — cheap enough to leave in
+// the GEMM inner-call path. Setting REMAPD_TRACE=<path> and/or
+// REMAPD_METRICS=<path> (see util/env.hpp) enables collection at startup
+// and registers an atexit flush to those paths; tests drive the same
+// machinery through set_enabled() + the exporters directly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remapd {
+namespace telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Master switch, read on every instrumentation hit.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Nanoseconds on the steady clock since the process's telemetry epoch
+/// (first use). Monotonic; shared by every span so traces line up.
+std::uint64_t now_ns();
+
+/// Small dense id for the calling thread (assigned on first use, starting
+/// at 1), used as the Chrome-trace tid.
+std::uint32_t current_thread_id();
+
+/// One completed span ('X') or instant ('i') event.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::string args_json;  ///< "" or a JSON object, e.g. {"epoch":3}
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< 0 for instant events
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  ///< span nesting depth on its thread
+  char ph = 'X';
+};
+
+/// Bounded in-memory event sink. Overflow increments a drop counter rather
+/// than growing without bound (a traced training run emits a few thousand
+/// events; the cap only matters if someone traces a huge sweep).
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  static TraceBuffer& instance();
+
+  void record(TraceEvent ev);
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  TraceBuffer() = default;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Scoped timer: records an 'X' event covering its lifetime. Inert (one
+/// atomic load, no allocation) when telemetry is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, std::string_view cat = "remapd",
+                     std::string args_json = "");
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::string cat_;
+  std::string args_;
+  std::uint64_t start_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+/// Record an instant event (zero duration), e.g. one remap decision.
+void trace_instant(std::string_view name, std::string_view cat,
+                   std::string args_json = "");
+
+}  // namespace telemetry
+}  // namespace remapd

@@ -3,8 +3,26 @@
 #include <stdexcept>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace remapd {
 namespace {
+
+// Cached telemetry handles: registered once, updated only when telemetry is
+// enabled (KernelTimer / enabled() gate the hot path).
+struct GemmTelemetry {
+  telemetry::Counter& calls;
+  telemetry::Counter& flops;
+  telemetry::Histogram& ns;
+};
+
+GemmTelemetry& gemm_telemetry() {
+  auto& reg = telemetry::Registry::instance();
+  static GemmTelemetry t{reg.counter("tensor.gemm.calls"),
+                         reg.counter("tensor.gemm.flops"),
+                         reg.histogram("tensor.gemm.ns")};
+  return t;
+}
 
 // Cache-blocked kernel for the common non-transposed case. Block sizes are
 // tuned for L1 residency of the B panel on a typical x86 core.
@@ -41,6 +59,10 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, const float* a, std::size_t lda,
           const float* b, std::size_t ldb, float beta, float* c,
           std::size_t ldc) {
+  GemmTelemetry& telem = gemm_telemetry();
+  telemetry::KernelTimer timer(telem.calls, telem.ns);
+  if (telemetry::enabled()) telem.flops.add(2ull * m * n * k);
+
   // Scale / clear C first.
   for (std::size_t i = 0; i < m; ++i) {
     float* crow = c + i * ldc;

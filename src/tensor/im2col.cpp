@@ -1,8 +1,34 @@
 #include "tensor/im2col.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace remapd {
+namespace {
+
+struct LoweringTelemetry {
+  telemetry::Counter& calls;
+  telemetry::Histogram& ns;
+};
+
+LoweringTelemetry& im2col_telemetry() {
+  auto& reg = telemetry::Registry::instance();
+  static LoweringTelemetry t{reg.counter("tensor.im2col.calls"),
+                             reg.histogram("tensor.im2col.ns")};
+  return t;
+}
+
+LoweringTelemetry& col2im_telemetry() {
+  auto& reg = telemetry::Registry::instance();
+  static LoweringTelemetry t{reg.counter("tensor.col2im.calls"),
+                             reg.histogram("tensor.col2im.ns")};
+  return t;
+}
+
+}  // namespace
 
 void im2col(const float* img, const ConvGeom& g, float* col) {
+  LoweringTelemetry& telem = im2col_telemetry();
+  telemetry::KernelTimer timer(telem.calls, telem.ns);
   const std::size_t oh = g.out_h(), ow = g.out_w();
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.channels; ++c) {
@@ -34,6 +60,8 @@ void im2col(const float* img, const ConvGeom& g, float* col) {
 }
 
 void col2im(const float* col, const ConvGeom& g, float* img) {
+  LoweringTelemetry& telem = col2im_telemetry();
+  telemetry::KernelTimer timer(telem.calls, telem.ns);
   const std::size_t oh = g.out_h(), ow = g.out_w();
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.channels; ++c) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
 
@@ -141,19 +142,30 @@ TrainResult FaultAwareTrainer::run() {
   result.policy_area_overhead_percent = policy_->area_overhead_percent();
 
   inject_pre_deployment();
-  survey();
   {
+    REMAPD_TRACE_SPAN("bist-survey", "trainer");
+    survey();
+  }
+  {
+    REMAPD_TRACE_SPAN("remap", "trainer");
     PolicyContext ctx = make_context(0);
     policy_->on_training_start(ctx);
     result.total_remaps += policy_->last_events().size();
   }
-  refresh_fault_views();
+  {
+    REMAPD_TRACE_SPAN("view-refresh", "trainer");
+    refresh_fault_views();
+  }
 
   Sgd sgd(model_.params(), cfg_.sgd);
   Batcher batcher(data_.train, cfg_.batch_size, rng_);
 
   const float base_lr = cfg_.sgd.lr;
   for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    telemetry::TraceSpan epoch_span(
+        "epoch", "trainer",
+        telemetry::enabled() ? "{\"epoch\":" + std::to_string(epoch) + "}"
+                             : std::string());
     // Step learning-rate schedule (x0.3 at 1/2 and 3/4 of training): late
     // epochs run at a small rate, which keeps a nearly-converged model from
     // being tipped into divergence by accumulated fault perturbations.
@@ -174,9 +186,16 @@ TrainResult FaultAwareTrainer::run() {
     std::size_t correct = 0, seen = 0;
     for (std::size_t b = 0; b < batcher.batches_per_epoch(); ++b) {
       const Batch batch = batcher.get(b);
-      const Tensor logits = model_.forward(batch.images, /*train=*/true);
-      LossResult lr = softmax_cross_entropy(logits, batch.labels);
-      model_.backward(lr.dlogits);
+      Tensor logits;
+      {
+        REMAPD_TRACE_SPAN("forward", "trainer");
+        logits = model_.forward(batch.images, /*train=*/true);
+      }
+      const LossResult batch_loss = softmax_cross_entropy(logits, batch.labels);
+      {
+        REMAPD_TRACE_SPAN("backward", "trainer");
+        model_.backward(batch_loss.dlogits);
+      }
 
       // Accumulate |grad| importance before the optimizer clears grads.
       for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -186,24 +205,27 @@ TrainResult FaultAwareTrainer::run() {
           imp[i] += std::abs(g[i]);
       }
 
-      sgd.step();
-      mapper_->record_weight_update();  // endurance accounting
+      {
+        REMAPD_TRACE_SPAN("sgd-step", "trainer");
+        sgd.step();
+        mapper_->record_weight_update();  // endurance accounting
 
-      // Conductance saturation (ablation): a stored weight cannot leave
-      // the representable range [-w_max, +w_max] — the array write clips
-      // it, bounding pinned-gradient drift.
-      if (cfg_.saturate_weights)
-        for (std::size_t l = 0; l < layers_.size(); ++l) {
-          const float wm = layer_w_max_[l];
-          Tensor& wt = layers_[l]->weight_param().value;
-          for (std::size_t i = 0; i < wt.numel(); ++i) {
-            if (wt[i] > wm) wt[i] = wm;
-            else if (wt[i] < -wm) wt[i] = -wm;
+        // Conductance saturation (ablation): a stored weight cannot leave
+        // the representable range [-w_max, +w_max] — the array write clips
+        // it, bounding pinned-gradient drift.
+        if (cfg_.saturate_weights)
+          for (std::size_t l = 0; l < layers_.size(); ++l) {
+            const float wm = layer_w_max_[l];
+            Tensor& wt = layers_[l]->weight_param().value;
+            for (std::size_t i = 0; i < wt.numel(); ++i) {
+              if (wt[i] > wm) wt[i] = wm;
+              else if (wt[i] < -wm) wt[i] = -wm;
+            }
           }
-        }
+      }
 
-      loss_sum += static_cast<double>(lr.loss) * batch.labels.size();
-      correct += lr.correct;
+      loss_sum += static_cast<double>(batch_loss.loss) * batch.labels.size();
+      correct += batch_loss.correct;
       seen += batch.labels.size();
     }
 
@@ -211,20 +233,33 @@ TrainResult FaultAwareTrainer::run() {
     std::size_t new_faults = 0;
     if (cfg_.fault_target == PhaseFaultTarget::kAll)
       new_faults = injector_->inject_post_deployment(*rcs_);
-    const std::uint64_t bist_cycles = survey();
+    std::uint64_t bist_cycles = 0;
+    {
+      REMAPD_TRACE_SPAN("bist-survey", "trainer");
+      bist_cycles = survey();
+    }
 
     PolicyContext ctx = make_context(epoch);
-    policy_->on_epoch_end(ctx);
+    {
+      REMAPD_TRACE_SPAN("remap", "trainer");
+      policy_->on_epoch_end(ctx);
+    }
     const std::size_t remaps = policy_->last_events().size();
     result.total_remaps += remaps;
-    refresh_fault_views();
+    {
+      REMAPD_TRACE_SPAN("view-refresh", "trainer");
+      refresh_fault_views();
+    }
 
     EpochRecord rec;
     rec.epoch = epoch;
     rec.train_loss = static_cast<float>(loss_sum / std::max<std::size_t>(seen, 1));
     rec.train_accuracy =
         static_cast<double>(correct) / std::max<std::size_t>(seen, 1);
-    rec.test_accuracy = evaluate_accuracy(model_, data_.test);
+    {
+      REMAPD_TRACE_SPAN("evaluate", "trainer");
+      rec.test_accuracy = evaluate_accuracy(model_, data_.test);
+    }
     rec.remaps = remaps;
     rec.mean_density_est = density_.mean();
     rec.max_density_est = density_.max();
@@ -233,8 +268,19 @@ TrainResult FaultAwareTrainer::run() {
     for (XbarId x = 0; x < rcs_->total_crossbars(); ++x)
       faults += rcs_->crossbar(x).fault_count();
     rec.total_faults = faults;
-    (void)new_faults;
+    rec.new_faults = new_faults;
     result.history.push_back(rec);
+
+    if (telemetry::enabled()) {
+      auto& reg = telemetry::Registry::instance();
+      reg.counter("trainer.epochs").add();
+      reg.counter("trainer.batches").add(batcher.batches_per_epoch());
+      reg.counter("trainer.samples").add(seen);
+      reg.counter("trainer.new_faults").add(new_faults);
+      reg.gauge("trainer.train_loss").set(rec.train_loss);
+      reg.gauge("trainer.test_accuracy").set(rec.test_accuracy);
+      reg.gauge("trainer.total_faults").set(static_cast<double>(faults));
+    }
 
     if (cfg_.verbose)
       log_info(model_.name, "/", policy_->name(), " epoch ", epoch,

@@ -1,6 +1,7 @@
 // Evaluation helpers and per-epoch training records.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@ struct EpochRecord {
   double mean_density_est = 0.0;     ///< BIST view of the RCS
   double max_density_est = 0.0;
   std::size_t total_faults = 0;      ///< ground truth faulty cells
+  std::size_t new_faults = 0;        ///< cells that failed during this epoch
   std::uint64_t bist_cycles = 0;     ///< ReRAM cycles of the epoch's survey
 };
 
@@ -35,7 +37,13 @@ struct TrainResult {
   std::size_t total_remaps = 0;
   double policy_area_overhead_percent = 0.0;
 
-  [[nodiscard]] const EpochRecord& last() const { return history.back(); }
+  /// Final epoch's record. Throws instead of the UB of back() on an empty
+  /// history (a zero-epoch run has no records).
+  [[nodiscard]] const EpochRecord& last() const {
+    if (history.empty())
+      throw std::out_of_range("TrainResult::last(): empty history");
+    return history.back();
+  }
 };
 
 }  // namespace remapd

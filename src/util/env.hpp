@@ -2,10 +2,15 @@
 // for 50 epochs on a GPU; our CPU reproduction runs scaled variants whose
 // size can be tuned without recompiling:
 //
-//   REMAPD_EPOCHS  override training epochs for benches (default per-bench)
-//   REMAPD_TRAIN   override number of training samples
-//   REMAPD_TEST    override number of test samples
-//   REMAPD_LOG     log level (debug|info|warn|error)
+//   REMAPD_EPOCHS   override training epochs for benches (default per-bench)
+//   REMAPD_TRAIN    override number of training samples
+//   REMAPD_TEST     override number of test samples
+//   REMAPD_LOG      log level (debug|info|warn|error)
+//   REMAPD_TRACE    enable telemetry; write a chrome://tracing JSON to this
+//                   path at process exit (see telemetry/)
+//   REMAPD_METRICS  enable telemetry; write metrics to this path at exit —
+//                   JSONL if it ends in ".jsonl", plain-text summary
+//                   otherwise ("-" for stdout)
 #pragma once
 
 #include <string>

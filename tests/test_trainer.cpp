@@ -256,5 +256,39 @@ TEST(TrainerSlow, RemapDBeatsNoProtection) {
   EXPECT_GT(acc_remap, acc_none);
 }
 
+// Regression: last() on an empty history used to be UB (vector::back on an
+// empty vector); it must throw instead.
+TEST(Trainer, LastThrowsOnEmptyHistory) {
+  TrainResult empty;
+  EXPECT_THROW((void)empty.last(), std::out_of_range);
+}
+
+TEST(Trainer, LastReturnsFinalEpoch) {
+  TrainerConfig cfg = tiny();
+  const TrainResult r = train_with_faults(cfg);
+  ASSERT_FALSE(r.history.empty());
+  EXPECT_EQ(&r.last(), &r.history.back());
+  EXPECT_EQ(r.last().epoch, cfg.epochs - 1);
+}
+
+TEST(Trainer, NewFaultsRecordedPerEpoch) {
+  TrainerConfig cfg = tiny();
+  cfg.faults = FaultScenario::paper_default();
+  const TrainResult r = train_with_faults(cfg);
+  std::size_t new_total = 0;
+  for (const EpochRecord& e : r.history) new_total += e.new_faults;
+  EXPECT_GT(new_total, 0u);
+  // Exact accounting: the ground-truth total grows by precisely the newly
+  // failed cells of the epochs after the first record.
+  EXPECT_EQ(r.history.back().total_faults,
+            r.history.front().total_faults + new_total -
+                r.history.front().new_faults);
+
+  TrainerConfig ideal = tiny();
+  ideal.faults = FaultScenario::ideal();
+  for (const EpochRecord& e : train_with_faults(ideal).history)
+    EXPECT_EQ(e.new_faults, 0u);
+}
+
 }  // namespace
 }  // namespace remapd
