@@ -7,9 +7,12 @@
 
 #include "bist/controller.hpp"
 #include "bist/march.hpp"
+#include "core/fault_density_map.hpp"
+#include "obs/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trainer/timing_model.hpp"
 #include "util/env.hpp"
+#include "util/rng.hpp"
 #include "xbar/rcs.hpp"
 
 int main() {
@@ -66,6 +69,46 @@ int main() {
   // writes (one array write per batch; 391 batches at CIFAR scale).
   std::printf("BIST adds 2 array writes per epoch — negligible against the "
               "per-batch weight-update writes.\n");
+
+  // With REMAPD_HEALTH set, survey a small faulted RCS and record one
+  // health snapshot, so the bench's stream carries per-crossbar
+  // BIST-estimate-vs-truth rows (the estimation-error table's input).
+  if (obs::enabled()) {
+    obs::Observatory& ob = obs::Observatory::instance();
+    RcsConfig rcfg;
+    rcfg.tiles_x = rcfg.tiles_y = 2;
+    Rcs rcs(rcfg);
+    Rng rng(7);
+    std::size_t total_faults = 0;
+    for (XbarId x = 0; x < rcs.total_crossbars(); ++x) {
+      const std::size_t count = 11 * x;  // spread of densities
+      rcs.crossbar(x).inject_random_faults(count, 0.9, rng);
+      total_faults += rcs.crossbar(x).fault_count();
+    }
+    WeightMapper mapper(rcs);
+    mapper.map_layers({{256, 256}});  // a few tasks so phases appear
+
+    FaultDensityMap density;
+    density.reset(rcs.total_crossbars());
+    std::uint64_t cycles = 0;
+    density.update(bist.survey(rcs, &cycles));
+
+    obs::RunInfo info;
+    info.model = "(none)";
+    info.policy = "bist-timing-bench";
+    info.dataset = "(synthetic faults)";
+    info.crossbars = rcs.total_crossbars();
+    info.tiles_x = rcfg.tiles_x;
+    info.tiles_y = rcfg.tiles_y;
+    info.xbar_rows = rcfg.xbar_rows;
+    info.xbar_cols = rcfg.xbar_cols;
+    ob.begin_run(info);
+
+    obs::EpochObs eo;
+    eo.total_faults = total_faults;
+    eo.bist_cycles = cycles;
+    ob.sample_epoch(eo, rcs, density, mapper);
+  }
 
   if (telemetry::enabled())
     std::fputs(telemetry::summary_table().c_str(), stderr);

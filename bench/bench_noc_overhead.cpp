@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "noc/traffic.hpp"
+#include "obs/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -18,6 +19,22 @@ int main() {
   NocConfig cfg;
   cfg.geometry = CmeshGeometry{8, 8};  // 64 tiles, 4x4 c-mesh routers
   const std::size_t flits = weight_transfer_flits(128, 128);
+
+  // With REMAPD_HEALTH set, the simulated rounds' per-router utilization
+  // lands in the health stream (type="noc" records) for offline heatmaps.
+  obs::Observatory* ob =
+      obs::enabled() ? &obs::Observatory::instance() : nullptr;
+  if (ob) {
+    obs::RunInfo info;
+    info.model = "(none)";
+    info.policy = "noc-overhead-bench";
+    info.dataset = "(synthetic rounds)";
+    info.tiles_x = cfg.geometry.tiles_x;
+    info.tiles_y = cfg.geometry.tiles_y;
+    info.xbar_rows = 128;
+    info.xbar_cols = 128;
+    ob->begin_run(info);
+  }
 
   std::printf("== NoC remapping overhead (c-mesh %zux%zu tiles, %zux%zu "
               "routers) ==\n\n",
@@ -34,6 +51,7 @@ int main() {
     const std::vector<RemapPair> pairs = {{9, 10}, {54, 53}};
     const RemapTrafficResult res =
         simulate_remap_protocol(cfg, senders, responders, pairs, flits);
+    if (ob) ob->noc().record_round(0, res);
     std::printf("Fig. 3 walkthrough (2 senders, parallel remaps):\n");
     std::printf("  phase (a) broadcast requests : %llu cycles\n",
                 static_cast<unsigned long long>(res.request_cycles));

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trainer/fault_aware_trainer.hpp"
 #include "util/csv.hpp"
@@ -129,5 +130,9 @@ int main(int argc, char** argv) {
   // REMAPD_METRICS additionally dump machine-readable files at exit).
   if (telemetry::enabled())
     std::fputs(telemetry::summary_table().c_str(), stderr);
+  // With REMAPD_HEALTH set the observatory dumps the JSONL stream + summary
+  // at exit; echo the summary here too so interactive runs see it.
+  if (obs::enabled())
+    std::fputs(obs::Observatory::instance().summary().c_str(), stderr);
   return 0;
 }

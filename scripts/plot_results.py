@@ -8,9 +8,17 @@ Each bench writes its series next to the working directory it ran in:
 
 Usage: plot_results.py [csv_dir] [out_dir]
 Produces one PNG per figure in out_dir (default: csv_dir).
+
+Health mode: plot_results.py --health run.jsonl [out_dir]
+Reads the reliability-observatory stream written under REMAPD_HEALTH (see
+src/obs/ and tools/remapd_report) and produces, per run in the stream:
+  health_density_run<N>.png  fault-density-over-epochs time-series (true vs
+                             BIST estimate) for the most degraded crossbars
+  health_noc_run<N>.png      per-router NoC flit heatmap of the remap rounds
 """
 
 import csv
+import json
 import os
 import sys
 
@@ -21,9 +29,97 @@ def read_csv(path):
     return rows
 
 
+def read_health_runs(path):
+    """Group a health JSONL stream into runs: [{type: [records...]}, ...]."""
+    runs = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: parse error: {e}")
+            kind = rec.get("type", "")
+            if kind == "run" or not runs:
+                runs.append({"run": [], "health": [], "noc": [],
+                             "remap": [], "epoch": []})
+            if kind in runs[-1]:
+                runs[-1][kind].append(rec)
+    return runs
+
+
+def plot_health(path, out_dir, plt, save, top_k=6):
+    for n, run in enumerate(read_health_runs(path)):
+        info = run["run"][0] if run["run"] else {}
+        title = "{} / {}".format(info.get("model", "?"),
+                                 info.get("policy", "?"))
+
+        health = run["health"]
+        if health:
+            last_epoch = max(h["epoch"] for h in health)
+            worst = sorted((h for h in health if h["epoch"] == last_epoch),
+                           key=lambda h: -h["true_density"])[:top_k]
+            fig, ax = plt.subplots(figsize=(8, 4))
+            for w in worst:
+                series = sorted((h for h in health if h["xbar"] == w["xbar"]),
+                                key=lambda h: h["epoch"])
+                es = [h["epoch"] for h in series]
+                (ln,) = ax.plot(es, [h["true_density"] for h in series],
+                                "o-", label="xbar {}".format(w["xbar"]))
+                ax.plot(es, [h["est_density"] for h in series], "--",
+                        color=ln.get_color(), alpha=0.6)
+            ax.set_xlabel("epoch")
+            ax.set_ylabel("fault density (solid: true, dashed: BIST est.)")
+            ax.set_title(f"{title}: top-{len(worst)} degraded crossbars")
+            ax.legend(fontsize=8)
+            save(fig, f"health_density_run{n}.png")
+
+        noc = run["noc"]
+        if noc:
+            routers = sorted({int(r["router"]) for r in noc})
+            epochs = sorted({int(r["epoch"]) for r in noc})
+            # Router grid of the c-mesh: ceil(tiles/2) per axis.
+            rx = max(1, (int(info.get("tiles_x", 2)) + 1) // 2)
+            grid = [[0.0] * rx for _ in range(max(routers) // rx + 1)]
+            per_epoch = [[0.0] * len(routers) for _ in epochs]
+            for r in noc:
+                flits = r.get("flits", 0)
+                grid[int(r["router"]) // rx][int(r["router"]) % rx] += flits
+                per_epoch[epochs.index(int(r["epoch"]))][
+                    routers.index(int(r["router"]))] += flits
+            fig, axes = plt.subplots(1, 2, figsize=(10, 4))
+            im = axes[0].imshow(grid, cmap="inferno", origin="lower")
+            axes[0].set_title(f"{title}: total flits per router")
+            axes[0].set_xlabel("router x")
+            axes[0].set_ylabel("router y")
+            fig.colorbar(im, ax=axes[0])
+            im = axes[1].imshow(per_epoch, cmap="inferno", aspect="auto",
+                                origin="lower")
+            axes[1].set_yticks(range(len(epochs)), epochs)
+            axes[1].set_xlabel("router id")
+            axes[1].set_ylabel("epoch")
+            axes[1].set_title("flits per router per remap round")
+            fig.colorbar(im, ax=axes[1])
+            save(fig, f"health_noc_run{n}.png")
+
+
 def main():
-    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
-    out_dir = sys.argv[2] if len(sys.argv) > 2 else csv_dir
+    args = [a for a in sys.argv[1:]]
+    health_path = None
+    if "--health" in args:
+        i = args.index("--health")
+        try:
+            health_path = args[i + 1]
+        except IndexError:
+            sys.exit("usage: plot_results.py --health run.jsonl [out_dir]")
+        del args[i:i + 2]
+        csv_dir = None
+        out_dir = args[0] if args else os.path.dirname(health_path) or "."
+    else:
+        csv_dir = args[0] if args else "."
+        out_dir = args[1] if len(args) > 1 else csv_dir
 
     try:
         import matplotlib
@@ -39,6 +135,10 @@ def main():
         fig.tight_layout()
         fig.savefig(path, dpi=150)
         print("wrote", path)
+
+    if health_path is not None:
+        plot_health(health_path, out_dir, plt, save)
+        return 0
 
     # Fig. 4: current vs fault count.
     p = os.path.join(csv_dir, "fig4_bist_current.csv")

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/audit.hpp"
+
 namespace remapd {
 namespace {
 
@@ -55,6 +57,19 @@ void StaticMapping::on_training_start(PolicyContext& ctx) {
     const XbarId want = order[i];
     const XbarId have = mapper.xbar_of(tasks[i]);
     if (want == have) continue;
+    if (ctx.audit) {
+      obs::RemapAuditRecord rec;
+      rec.epoch = ctx.epoch;
+      rec.policy = name();
+      rec.at_training_start = ctx.at_training_start;
+      rec.sender = have;
+      rec.receiver = want;
+      rec.reason = "static-placement";
+      rec.sender_density = density.density(have);
+      rec.receiver_density = density.density(want);
+      rec.hops = mapper.hop_distance(have, want);
+      ctx.audit->append(std::move(rec));
+    }
     mapper.swap_tasks(tasks[i], want);
     record_event(have, want);
   }

@@ -1,6 +1,7 @@
 #include "core/fault_density_map.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace remapd {
@@ -22,6 +23,24 @@ double FaultDensityMap::mean() const {
 double FaultDensityMap::max() const {
   if (density_.empty()) return 0.0;
   return *std::max_element(density_.begin(), density_.end());
+}
+
+DensityErrorStats FaultDensityMap::error_vs(
+    const std::vector<double>& truth) const {
+  if (truth.size() != density_.size())
+    throw std::invalid_argument("FaultDensityMap::error_vs: size mismatch");
+  DensityErrorStats s;
+  if (density_.empty()) return s;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    const double err = density_[i] - truth[i];
+    s.mean_signed += err;
+    s.mean_abs += std::abs(err);
+    s.max_abs = std::max(s.max_abs, std::abs(err));
+  }
+  const auto n = static_cast<double>(density_.size());
+  s.mean_abs /= n;
+  s.mean_signed /= n;
+  return s;
 }
 
 std::vector<std::size_t> FaultDensityMap::above(double threshold) const {

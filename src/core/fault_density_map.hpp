@@ -8,6 +8,14 @@
 
 namespace remapd {
 
+/// Accuracy of a BIST density survey against ground truth (§III.B.3): how
+/// well the estimates the policies act on track the physical fault state.
+struct DensityErrorStats {
+  double mean_abs = 0.0;     ///< mean |estimate - truth|
+  double max_abs = 0.0;      ///< worst single-crossbar error
+  double mean_signed = 0.0;  ///< bias: mean (estimate - truth)
+};
+
 class FaultDensityMap {
  public:
   FaultDensityMap() = default;
@@ -33,6 +41,11 @@ class FaultDensityMap {
   [[nodiscard]] double max() const;
   /// Crossbars with density strictly above a threshold.
   [[nodiscard]] std::vector<std::size_t> above(double threshold) const;
+  /// Estimation-error statistics of the current survey against a
+  /// ground-truth density vector (e.g. Rcs::fault_densities()). Throws
+  /// std::invalid_argument on a size mismatch.
+  [[nodiscard]] DensityErrorStats error_vs(
+      const std::vector<double>& truth) const;
   /// Number of surveys applied so far.
   [[nodiscard]] std::size_t surveys() const { return surveys_; }
 

@@ -2,8 +2,37 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+
+#include "obs/audit.hpp"
 
 namespace remapd {
+
+namespace {
+
+/// Audit one sender's decision (observatory enabled only).
+void audit_decision(PolicyContext& ctx, const std::string& policy,
+                    XbarId sender, XbarId receiver,
+                    std::vector<XbarId> candidates, const char* reason,
+                    double sender_density, double receiver_density,
+                    double threshold, std::size_t hops) {
+  if (!ctx.audit) return;
+  obs::RemapAuditRecord rec;
+  rec.epoch = ctx.epoch;
+  rec.policy = policy;
+  rec.at_training_start = ctx.at_training_start;
+  rec.sender = sender;
+  rec.receiver = receiver;
+  rec.candidates = std::move(candidates);
+  rec.reason = reason;
+  rec.sender_density = sender_density;
+  rec.receiver_density = receiver_density;
+  rec.threshold = threshold;
+  rec.hops = hops;
+  ctx.audit->append(std::move(rec));
+}
+
+}  // namespace
 
 void RemapD::on_epoch_end(PolicyContext& ctx) {
   clear_events();
@@ -30,6 +59,7 @@ void RemapD::on_epoch_end(PolicyContext& ctx) {
     XbarId best = kNoTask;
     std::size_t best_hops = std::numeric_limits<std::size_t>::max();
     double best_density = std::numeric_limits<double>::max();
+    std::vector<XbarId> candidates;
 
     for (XbarId r = 0; r < density.size(); ++r) {
       if (r == s || taken[r]) continue;
@@ -37,6 +67,7 @@ void RemapD::on_epoch_end(PolicyContext& ctx) {
       const TaskId rt = mapper.task_on(r);
       if (rt != kNoTask && !can_receive(mapper.task(rt).phase)) continue;
 
+      if (ctx.audit) candidates.push_back(r);
       const std::size_t hops = mapper.hop_distance(s, r);
       if (hops < best_hops ||
           (hops == best_hops && density.density(r) < best_density)) {
@@ -45,8 +76,16 @@ void RemapD::on_epoch_end(PolicyContext& ctx) {
         best_density = density.density(r);
       }
     }
-    if (best == kNoTask) continue;  // no eligible receiver this round
+    if (best == kNoTask) {  // no eligible receiver this round
+      audit_decision(ctx, name(), s, obs::kNoReceiver, std::move(candidates),
+                     "no-eligible-receiver", s_density, 0.0,
+                     cfg_.density_threshold, 0);
+      continue;
+    }
 
+    audit_decision(ctx, name(), s, best, std::move(candidates),
+                   "density>threshold", s_density, best_density,
+                   cfg_.density_threshold, best_hops);
     mapper.swap_tasks(mapper.task_on(s), best);
     taken[best] = true;
     taken[s] = true;
@@ -67,10 +106,12 @@ void RemapD::on_epoch_end(PolicyContext& ctx) {
       XbarId best = kNoTask;
       std::size_t best_hops = std::numeric_limits<std::size_t>::max();
       double best_density = std::numeric_limits<double>::max();
+      std::vector<XbarId> candidates;
       for (XbarId r = 0; r < density.size(); ++r) {
         if (r == s || taken[r]) continue;
         if (mapper.task_on(r) != kNoTask) continue;  // idle receivers only
         if (density.density(r) + cfg_.min_improvement >= s_density) continue;
+        if (ctx.audit) candidates.push_back(r);
         const std::size_t hops = mapper.hop_distance(s, r);
         if (hops < best_hops ||
             (hops == best_hops && density.density(r) < best_density)) {
@@ -80,6 +121,9 @@ void RemapD::on_epoch_end(PolicyContext& ctx) {
         }
       }
       if (best == kNoTask) continue;
+      audit_decision(ctx, name(), s, best, std::move(candidates),
+                     "forward-rescue", s_density, best_density,
+                     cfg_.forward_rescue_threshold, best_hops);
       mapper.swap_tasks(t, best);
       taken[best] = true;
       taken[s] = true;

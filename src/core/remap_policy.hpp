@@ -25,6 +25,11 @@
 
 namespace remapd {
 
+namespace obs {
+class RemapAuditLog;  // header-only audit sink (obs/audit.hpp); policies
+                      // append through the pointer below when one is wired
+}
+
 /// Per-layer data some baselines need.
 struct LayerSnapshot {
   const Tensor* initial_weights = nullptr;  ///< values at training start
@@ -37,6 +42,11 @@ struct PolicyContext {
   std::vector<LayerSnapshot> layers;
   std::size_t epoch = 0;
   Rng* rng = nullptr;
+  /// Observatory audit sink; null when the observatory is disabled.
+  obs::RemapAuditLog* audit = nullptr;
+  /// True for the on_training_start round (audit records carry it so the
+  /// placement round is not counted against epoch 0's swaps).
+  bool at_training_start = false;
 };
 
 /// A task swap executed by a policy (consumed by the NoC traffic model).

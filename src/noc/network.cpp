@@ -34,6 +34,8 @@ Network::Network(NocConfig cfg) : cfg_(cfg) {
   for (std::size_t r = 0; r < cfg_.geometry.num_routers(); ++r)
     routers_.emplace_back(r);
   inject_queues_.resize(cfg_.geometry.num_tiles());
+  router_flits_.assign(cfg_.geometry.num_routers(), 0);
+  link_flits_.assign(cfg_.geometry.num_routers(), {0, 0, 0, 0});
 }
 
 PacketId Network::inject(PacketKind kind, NodeId src, NodeId dst,
@@ -152,6 +154,7 @@ bool Network::try_send(Router& r, std::size_t in_port, std::size_t out_port,
     const std::size_t tile = cfg_.geometry.tile_at(r.id, out_port);
     if (tile >= cfg_.geometry.num_tiles()) return true;  // edge stub: drop
     record_ejection(tile, f);
+    ++router_flits_[r.id];
   } else {
     // Forward to the neighbouring router.
     const RouterCoord rc = cfg_.geometry.coord(r.id);
@@ -168,6 +171,8 @@ bool Network::try_send(Router& r, std::size_t in_port, std::size_t out_port,
     if (nin_port.fifo.size() >= cfg_.fifo_depth) return false;
     nin_port.fifo.push_back(BufferedFlit{f, cycle_});
     ++flit_hops_;
+    ++router_flits_[r.id];
+    ++link_flits_[r.id][out_port - CmeshGeometry::kConcentration];
     if (telemetry::enabled()) noc_telemetry().hops.add();
   }
 

@@ -6,6 +6,7 @@
 // and eject without backpressure (eDRAM buffers absorb arrivals, Fig. 1).
 #pragma once
 
+#include <array>
 #include <unordered_map>
 
 #include "noc/router.hpp"
@@ -46,6 +47,19 @@ class Network {
   /// Mean tail latency over completed packets.
   [[nodiscard]] double mean_latency() const;
 
+  // Per-router / per-link utilization (reliability observatory; hotspot
+  // heatmaps derive from these). Indexed by router id; links are the four
+  // outgoing inter-router directions in N, E, S, W order.
+  /// Flit copies each router moved (ejections + neighbour forwards).
+  [[nodiscard]] const std::vector<std::uint64_t>& router_flit_counts() const {
+    return router_flits_;
+  }
+  /// Flit copies sent over each outgoing inter-router link.
+  [[nodiscard]] const std::vector<std::array<std::uint64_t, 4>>&
+  link_flit_counts() const {
+    return link_flits_;
+  }
+
  private:
   void inject_phase();
   void route_phase();
@@ -67,6 +81,8 @@ class Network {
   PacketId next_id_ = 1;
   std::uint64_t flit_hops_ = 0;
   std::size_t in_flight_ = 0;  ///< packets not yet fully delivered
+  std::vector<std::uint64_t> router_flits_;              ///< per router
+  std::vector<std::array<std::uint64_t, 4>> link_flits_; ///< N/E/S/W per router
 };
 
 }  // namespace noc

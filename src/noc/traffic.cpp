@@ -60,6 +60,8 @@ RemapTrafficResult simulate_remap_protocol(
   res.total_cycles =
       res.request_cycles + res.response_cycles + res.transfer_cycles;
   res.flit_hops = net.flit_hops();
+  res.router_flits = net.router_flit_counts();
+  res.link_flits = net.link_flit_counts();
 
   telemetry::count("noc.remap_rounds");
   telemetry::count("noc.remap_packets", res.packets);

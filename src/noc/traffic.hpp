@@ -12,6 +12,7 @@
 // worst-case over a 50-round Monte Carlo).
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "noc/network.hpp"
@@ -33,6 +34,10 @@ struct RemapTrafficResult {
   std::uint64_t total_cycles = 0;
   std::size_t packets = 0;
   std::uint64_t flit_hops = 0;
+  /// Per-router / per-link (N,E,S,W) flit counts over the whole round —
+  /// the raw material for the observatory's NoC hotspot heatmaps.
+  std::vector<std::uint64_t> router_flits;
+  std::vector<std::array<std::uint64_t, 4>> link_flits;
 };
 
 /// Flits of one crossbar weight transfer: cells * bits / flit width.

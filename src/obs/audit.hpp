@@ -1,0 +1,75 @@
+// RemapAuditLog: a structured record of *why* each remap decision was
+// taken. The telemetry layer (src/telemetry/) answers "how long / how
+// many"; this log answers the paper's §III.B.4 question — which sender
+// crossbar asked, which tiles were eligible to respond, which receiver was
+// chosen and under which threshold — so a run can be audited offline
+// (tools/remapd_report) without re-running it.
+//
+// Policies append through PolicyContext::audit (nullable: the trainer only
+// wires a sink when the reliability observatory is enabled, so the
+// disabled-mode cost is one pointer test). Header-only on purpose:
+// src/core/ appends records without linking remapd_obs, keeping the
+// library layering acyclic (obs sits above core).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+namespace obs {
+
+/// Sentinel receiver for a sender whose request found no eligible
+/// responder this round (itself a useful signal: the RCS is saturating).
+inline constexpr XbarId kNoReceiver = static_cast<XbarId>(-1);
+
+/// One remap decision (or failed request) by a policy.
+struct RemapAuditRecord {
+  std::size_t epoch = 0;       ///< epoch of the round (0 for training start)
+  std::string policy;          ///< RemapPolicy::name()
+  bool at_training_start = false;  ///< round before epoch 0 vs epoch end
+  XbarId sender = 0;
+  XbarId receiver = kNoReceiver;
+  std::vector<XbarId> candidates;  ///< eligible receivers considered
+  std::string reason;          ///< eligibility rule that fired, e.g.
+                               ///< "density>threshold", "forward-rescue",
+                               ///< "static-placement", "no-eligible-receiver"
+  double sender_density = 0.0;     ///< BIST estimate driving the decision
+  double receiver_density = 0.0;   ///< 0 when no receiver was chosen
+  double threshold = 0.0;          ///< threshold the sender crossed
+  std::size_t hops = 0;            ///< tile hop distance of the chosen pair
+};
+
+/// Append-only in-memory log, drained by the Observatory's exporters.
+class RemapAuditLog {
+ public:
+  void append(RemapAuditRecord rec) { records_.push_back(std::move(rec)); }
+
+  [[nodiscard]] const std::vector<RemapAuditRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Swaps (not failed requests) logged for one epoch-end round. The
+  /// training-start round is excluded so the count matches the per-epoch
+  /// `remaps` column of the trainer's history.
+  [[nodiscard]] std::size_t swaps_in_epoch(std::size_t epoch) const {
+    std::size_t n = 0;
+    for (const RemapAuditRecord& r : records_)
+      if (r.epoch == epoch && !r.at_training_start &&
+          r.receiver != kNoReceiver)
+        ++n;
+    return n;
+  }
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<RemapAuditRecord> records_;
+};
+
+}  // namespace obs
+}  // namespace remapd

@@ -1,0 +1,63 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+
+namespace remapd {
+namespace obs {
+
+void HealthTracker::sample_epoch(std::size_t epoch, const Rcs& rcs,
+                                 const FaultDensityMap& density,
+                                 const WeightMapper& mapper,
+                                 const std::vector<std::size_t>& cum_remaps) {
+  const std::size_t n = rcs.total_crossbars();
+  samples_.reserve(samples_.size() + n);
+
+  HealthEpochStats stats;
+  stats.epoch = epoch;
+  std::vector<double> truth = rcs.fault_densities();
+  if (density.size() == truth.size()) stats.est_error = density.error_vs(truth);
+
+  for (XbarId x = 0; x < n; ++x) {
+    const Crossbar& xb = rcs.crossbar(x);
+    HealthSample s;
+    s.epoch = epoch;
+    s.xbar = x;
+    s.true_density = truth[x];
+    s.est_density = x < density.size() ? density.density(x) : 0.0;
+    s.sa0 = xb.fault_count(CellFault::kStuckAt0);
+    s.sa1 = xb.fault_count(CellFault::kStuckAt1);
+    s.writes = xb.array_writes();
+    s.remaps = x < cum_remaps.size() ? cum_remaps[x] : 0;
+    s.task = mapper.task_on(x);
+    if (s.task != kNoTask) s.phase = mapper.task(s.task).phase;
+    samples_.push_back(s);
+
+    stats.mean_true_density += s.true_density;
+    stats.max_true_density = std::max(stats.max_true_density, s.true_density);
+  }
+  if (n) stats.mean_true_density /= static_cast<double>(n);
+  epoch_stats_.push_back(stats);
+}
+
+std::vector<HealthSample> HealthTracker::top_degraded(std::size_t epoch,
+                                                      std::size_t k) const {
+  std::vector<HealthSample> of_epoch;
+  for (const HealthSample& s : samples_)
+    if (s.epoch == epoch) of_epoch.push_back(s);
+  std::stable_sort(of_epoch.begin(), of_epoch.end(),
+                   [](const HealthSample& a, const HealthSample& b) {
+                     if (a.true_density != b.true_density)
+                       return a.true_density > b.true_density;
+                     return a.est_density > b.est_density;
+                   });
+  if (of_epoch.size() > k) of_epoch.resize(k);
+  return of_epoch;
+}
+
+void HealthTracker::clear() {
+  samples_.clear();
+  epoch_stats_.clear();
+}
+
+}  // namespace obs
+}  // namespace remapd

@@ -1,0 +1,73 @@
+// HealthTracker: per-crossbar, per-epoch time-series of the reliability
+// state the paper reasons about — ground-truth vs BIST-estimated fault
+// density (§III.B.3), the SA0/SA1 split of the clustered fault model
+// (§IV.A), endurance wear (array writes), cumulative remap involvement,
+// and the task currently assigned. Sampled at every epoch boundary by the
+// Observatory; consumed by the JSONL exporter, the summary writer, and
+// scripts/plot_results.py.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fault_density_map.hpp"
+#include "xbar/mapper.hpp"
+
+namespace remapd {
+namespace obs {
+
+/// One crossbar's state at one epoch boundary.
+struct HealthSample {
+  std::size_t epoch = 0;
+  XbarId xbar = 0;
+  double true_density = 0.0;   ///< ground truth from the fault model
+  double est_density = 0.0;    ///< what BIST (and the policies) see
+  std::size_t sa0 = 0;         ///< ground-truth stuck-at-0 cells
+  std::size_t sa1 = 0;         ///< ground-truth stuck-at-1 cells
+  std::size_t writes = 0;      ///< cumulative array writes (endurance wear)
+  std::size_t remaps = 0;      ///< cumulative remap rounds this xbar took part in
+  TaskId task = kNoTask;       ///< task currently mapped here (kNoTask: idle)
+  Phase phase = Phase::kForward;  ///< valid only when task != kNoTask
+};
+
+/// Per-epoch aggregate of the BIST estimation error.
+struct HealthEpochStats {
+  std::size_t epoch = 0;
+  DensityErrorStats est_error{};
+  double mean_true_density = 0.0;
+  double max_true_density = 0.0;
+};
+
+class HealthTracker {
+ public:
+  /// Record one sample per crossbar plus the epoch's estimation-error
+  /// aggregate. `cum_remaps` is the per-crossbar cumulative remap count
+  /// maintained by the caller (may be empty: all counts read as 0).
+  void sample_epoch(std::size_t epoch, const Rcs& rcs,
+                    const FaultDensityMap& density, const WeightMapper& mapper,
+                    const std::vector<std::size_t>& cum_remaps);
+
+  [[nodiscard]] const std::vector<HealthSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] const std::vector<HealthEpochStats>& epoch_stats() const {
+    return epoch_stats_;
+  }
+  [[nodiscard]] std::size_t epochs_sampled() const {
+    return epoch_stats_.size();
+  }
+
+  /// The `k` most degraded crossbars (by ground-truth density, ties by
+  /// estimated density) among the samples of `epoch`.
+  [[nodiscard]] std::vector<HealthSample> top_degraded(std::size_t epoch,
+                                                       std::size_t k) const;
+
+  void clear();
+
+ private:
+  std::vector<HealthSample> samples_;
+  std::vector<HealthEpochStats> epoch_stats_;
+};
+
+}  // namespace obs
+}  // namespace remapd

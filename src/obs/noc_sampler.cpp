@@ -1,0 +1,88 @@
+#include "obs/noc_sampler.hpp"
+
+#include <algorithm>
+
+namespace remapd {
+namespace obs {
+
+namespace {
+
+NocEpochUtil& bucket_for(std::vector<NocEpochUtil>& epochs,
+                         std::size_t epoch) {
+  for (NocEpochUtil& e : epochs)
+    if (e.epoch == epoch) return e;
+  epochs.emplace_back();
+  epochs.back().epoch = epoch;
+  return epochs.back();
+}
+
+void accumulate(std::vector<std::uint64_t>& into,
+                const std::vector<std::uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+void accumulate(std::vector<std::array<std::uint64_t, 4>>& into,
+                const std::vector<std::array<std::uint64_t, 4>>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), {0, 0, 0, 0});
+  for (std::size_t i = 0; i < from.size(); ++i)
+    for (std::size_t d = 0; d < 4; ++d) into[i][d] += from[i][d];
+}
+
+}  // namespace
+
+void NocUtilizationSampler::record_round(std::size_t epoch,
+                                         const noc::RemapTrafficResult& res) {
+  NocEpochUtil& b = bucket_for(epochs_, epoch);
+  b.cycles += res.total_cycles;
+  b.packets += res.packets;
+  b.flit_hops += res.flit_hops;
+  accumulate(b.router_flits, res.router_flits);
+  accumulate(b.link_flits, res.link_flits);
+}
+
+std::uint64_t NocUtilizationSampler::cycles_in_epoch(std::size_t epoch) const {
+  for (const NocEpochUtil& e : epochs_)
+    if (e.epoch == epoch) return e.cycles;
+  return 0;
+}
+
+noc::RemapTrafficResult simulate_round_traffic(
+    const std::vector<RemapAuditRecord>& records, std::size_t first,
+    const Rcs& rcs) {
+  noc::RemapTrafficResult res;
+  if (first >= records.size()) return res;
+
+  // One protocol participant per tile: collapse the crossbar-level audit
+  // records onto the tile grid the NoC actually connects.
+  std::vector<noc::NodeId> senders;
+  std::vector<std::vector<noc::NodeId>> responders;
+  std::vector<noc::RemapPair> pairs;
+  for (std::size_t i = first; i < records.size(); ++i) {
+    const RemapAuditRecord& r = records[i];
+    const noc::NodeId s = rcs.tile_of(r.sender);
+    senders.push_back(s);
+    std::vector<noc::NodeId> resp;
+    for (XbarId c : r.candidates) {
+      const noc::NodeId t = rcs.tile_of(c);
+      if (t == s) continue;
+      if (std::find(resp.begin(), resp.end(), t) == resp.end())
+        resp.push_back(t);
+    }
+    responders.push_back(std::move(resp));
+    if (r.receiver != kNoReceiver) {
+      const noc::NodeId d = rcs.tile_of(r.receiver);
+      if (d != s) pairs.push_back(noc::RemapPair{s, d});
+    }
+  }
+
+  noc::NocConfig cfg;
+  cfg.geometry.tiles_x = rcs.config().tiles_x;
+  cfg.geometry.tiles_y = rcs.config().tiles_y;
+  const std::size_t flits = noc::weight_transfer_flits(
+      rcs.config().xbar_rows, rcs.config().xbar_cols);
+  return noc::simulate_remap_protocol(cfg, senders, responders, pairs, flits);
+}
+
+}  // namespace obs
+}  // namespace remapd

@@ -1,0 +1,61 @@
+// NoC utilization sampler: buckets the per-router / per-link flit counts
+// of the simulated remap-protocol rounds (Fig. 3) by epoch, so hotspot
+// heatmaps (which routers carry the remap traffic, and over which links)
+// are derivable offline from the health JSONL.
+//
+// The trainer itself models remapping as an instantaneous task swap; when
+// the observatory is enabled, each round's three-phase protocol traffic is
+// reconstructed from the audit log and replayed flit-by-flit on a fresh
+// c-mesh (simulate_round_traffic), which is also where the per-round NoC
+// cycle cost in the epoch records comes from.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "noc/traffic.hpp"
+#include "obs/audit.hpp"
+
+namespace remapd {
+namespace obs {
+
+/// Accumulated remap traffic of one epoch (all rounds of that epoch).
+struct NocEpochUtil {
+  std::size_t epoch = 0;
+  std::uint64_t cycles = 0;   ///< simulated protocol cycles
+  std::size_t packets = 0;
+  std::uint64_t flit_hops = 0;
+  std::vector<std::uint64_t> router_flits;
+  std::vector<std::array<std::uint64_t, 4>> link_flits;  ///< N,E,S,W
+};
+
+class NocUtilizationSampler {
+ public:
+  /// Fold one simulated round into the bucket of `epoch` (buckets are
+  /// created on first use; rounds of the same epoch accumulate).
+  void record_round(std::size_t epoch, const noc::RemapTrafficResult& res);
+
+  [[nodiscard]] const std::vector<NocEpochUtil>& epochs() const {
+    return epochs_;
+  }
+  /// Total cycles recorded for `epoch` (0 when the epoch has no bucket).
+  [[nodiscard]] std::uint64_t cycles_in_epoch(std::size_t epoch) const;
+
+  void clear() { epochs_.clear(); }
+
+ private:
+  std::vector<NocEpochUtil> epochs_;
+};
+
+/// Reconstruct one remap round's protocol traffic from the audit records
+/// [first, records.size()) and replay it on a c-mesh matching the RCS tile
+/// grid: every sender crossbar's tile broadcasts a request, every candidate
+/// tile responds, every chosen pair exchanges weights. Returns a
+/// zero-initialized result when the slice holds no records.
+noc::RemapTrafficResult simulate_round_traffic(
+    const std::vector<RemapAuditRecord>& records, std::size_t first,
+    const Rcs& rcs);
+
+}  // namespace obs
+}  // namespace remapd

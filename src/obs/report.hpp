@@ -1,0 +1,143 @@
+// The reliability observatory: process-wide collection point for the
+// domain-level health data of a training run —
+//
+//   HealthTracker           per-crossbar, per-epoch time-series
+//   RemapAuditLog           one structured record per remap decision
+//   NocUtilizationSampler   per-router / per-link remap traffic by epoch
+//
+// plus the epoch-end report pipeline that renders everything as one JSONL
+// stream and a human-readable summary (top-K degraded crossbars, BIST
+// estimation error, remap churn, NoC hotspots).
+//
+// Env wiring (read once at startup by init_from_env, mirroring telemetry):
+//   REMAPD_HEALTH=<path>  enable collection; at process exit write the
+//                         JSONL stream to <path> and the summary to
+//                         <path>.summary.txt ("-" streams both to stdout)
+//
+// Flush guarantee: when REMAPD_HEALTH is set, the reports are written both
+// on normal exit (std::atexit) and on uncaught-exception termination (a
+// chained std::set_terminate handler), so a crashing run still leaves its
+// health stream behind. With the variable unset, enabled() stays false and
+// every call site's cost is one relaxed atomic load.
+//
+// A process may hold several runs (the benches train many models back to
+// back): begin_run() seals the previous run's records and starts a fresh
+// "run" group in the stream; `remapd_report` regroups on those lines.
+//
+// Not thread-safe: the trainer samples from a single thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/audit.hpp"
+#include "obs/health.hpp"
+#include "obs/noc_sampler.hpp"
+
+namespace remapd {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// Global observatory on/off gate (relaxed: a gate, not a synchronizer).
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Identity of one training run, written as the stream's "run" line.
+struct RunInfo {
+  std::string model;
+  std::string policy;
+  std::string dataset;
+  std::uint64_t seed = 0;
+  std::size_t epochs = 0;
+  std::size_t crossbars = 0;
+  std::size_t tiles_x = 0;
+  std::size_t tiles_y = 0;
+  std::size_t xbar_rows = 0;
+  std::size_t xbar_cols = 0;
+};
+
+/// Per-epoch scalars handed over by the trainer (the same numbers it
+/// prints in its results table — the JSONL must reproduce them exactly).
+struct EpochObs {
+  std::size_t epoch = 0;
+  std::size_t remaps = 0;
+  std::size_t new_faults = 0;
+  std::size_t total_faults = 0;
+  float train_loss = 0.0f;
+  double test_accuracy = 0.0;
+  std::uint64_t bist_cycles = 0;
+};
+
+class Observatory {
+ public:
+  /// Leaky singleton: never destroyed, so the exit/terminate flush can
+  /// always read it regardless of static-destruction order.
+  static Observatory& instance();
+
+  /// Seal the previous run (if any) and start collecting a new one.
+  void begin_run(const RunInfo& info);
+
+  RemapAuditLog& audit() { return audit_; }
+  HealthTracker& health() { return health_; }
+  NocUtilizationSampler& noc() { return noc_; }
+  [[nodiscard]] const RemapAuditLog& audit() const { return audit_; }
+
+  /// Epoch-end hook: folds audit records appended since the last call into
+  /// the per-crossbar cumulative remap counts, snapshots every crossbar's
+  /// health, and stores the trainer's epoch scalars.
+  void sample_epoch(const EpochObs& e, const Rcs& rcs,
+                    const FaultDensityMap& density, const WeightMapper& mapper);
+
+  /// Full JSONL stream: sealed runs plus the current one.
+  [[nodiscard]] std::string jsonl() const;
+  /// Human-readable per-run summary. `top_k` bounds the degraded-crossbar
+  /// and hotspot tables.
+  [[nodiscard]] std::string summary(std::size_t top_k = 8) const;
+
+  /// Write jsonl() to `path` and summary() to `path`.summary.txt
+  /// ("-" streams both to stdout). Returns success of the JSONL write.
+  bool write_reports(const std::string& path);
+
+  /// Write the REMAPD_HEALTH-configured reports now (what the atexit and
+  /// terminate hooks run). No-op when the variable is unset or nothing
+  /// was recorded. Idempotent: rewrites the same files.
+  void flush_to_env_path();
+
+  /// Drop everything, including sealed runs (tests).
+  void reset();
+
+ private:
+  Observatory() = default;
+  void seal_current_run();
+  [[nodiscard]] std::string render_current_jsonl() const;
+  [[nodiscard]] std::string render_current_summary(std::size_t top_k) const;
+  [[nodiscard]] bool anything_recorded() const;
+
+  RunInfo info_;
+  bool run_active_ = false;
+  RemapAuditLog audit_;
+  HealthTracker health_;
+  NocUtilizationSampler noc_;
+  std::vector<EpochObs> epoch_obs_;
+  std::vector<std::size_t> cum_remaps_;  ///< per crossbar, both swap ends
+  std::size_t audit_consumed_ = 0;
+  std::string sealed_jsonl_;
+  std::string sealed_summary_;
+  std::size_t sealed_runs_ = 0;
+};
+
+/// Read REMAPD_HEALTH once; if set, enable collection and register the
+/// atexit + terminate flush. Idempotent, runs automatically at static-init
+/// time of any binary linking the obs library.
+void init_from_env();
+
+}  // namespace obs
+}  // namespace remapd

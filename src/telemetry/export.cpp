@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -251,6 +252,20 @@ void flush_to_env_paths() {
   }
 }
 
+namespace {
+
+std::terminate_handler g_prev_terminate = nullptr;
+
+/// std::terminate path (uncaught exception, etc.): flush before chaining to
+/// the previous handler, so a crashing run still leaves its trace behind.
+[[noreturn]] void terminate_flush() {
+  flush_to_env_paths();
+  if (g_prev_terminate) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
 void init_from_env() {
   static std::once_flag once;
   std::call_once(once, [] {
@@ -259,6 +274,7 @@ void init_from_env() {
     if (trace.empty() && metrics.empty()) return;
     set_enabled(true);
     std::atexit(flush_to_env_paths);
+    g_prev_terminate = std::set_terminate(terminate_flush);
   });
 }
 

@@ -33,11 +33,19 @@ bool write_jsonl(const std::string& path);
 bool write_summary(const std::string& path);
 
 /// Read REMAPD_TRACE / REMAPD_METRICS once; if either is set, enable
-/// collection and register an atexit flush. Idempotent and cheap, runs
+/// collection and register the exit-time flush. Idempotent and cheap, runs
 /// automatically at static-init time of any instrumented binary.
+///
+/// Flush guarantee: the configured files are written on BOTH exit paths —
+/// normal termination (std::atexit) and uncaught-exception termination (a
+/// std::set_terminate handler that flushes, then chains to the previously
+/// installed handler before aborting). Writes truncate-and-rewrite the
+/// same paths, so running both hooks, or calling flush_to_env_paths()
+/// manually beforehand, is harmless. Not covered: abnormal termination
+/// that bypasses the C++ runtime (std::abort, _exit, fatal signals).
 void init_from_env();
 
-/// Write the env-configured outputs now (also what the atexit hook runs).
+/// Write the env-configured outputs now (also what the exit hooks run).
 void flush_to_env_paths();
 
 /// Clear the trace buffer and zero every registry instrument (tests).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "obs/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
@@ -99,6 +100,7 @@ PolicyContext FaultAwareTrainer::make_context(std::size_t epoch) {
   ctx.density = &density_;
   ctx.epoch = epoch;
   ctx.rng = &rng_;
+  if (obs::enabled()) ctx.audit = &obs::Observatory::instance().audit();
   ctx.layers.resize(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     ctx.layers[l].initial_weights = &initial_weights_[l];
@@ -141,6 +143,23 @@ TrainResult FaultAwareTrainer::run() {
   result.dataset = synth_name(cfg_.data.kind);
   result.policy_area_overhead_percent = policy_->area_overhead_percent();
 
+  obs::Observatory* ob =
+      obs::enabled() ? &obs::Observatory::instance() : nullptr;
+  if (ob) {
+    obs::RunInfo info;
+    info.model = result.model;
+    info.policy = result.policy;
+    info.dataset = result.dataset;
+    info.seed = cfg_.seed;
+    info.epochs = cfg_.epochs;
+    info.crossbars = rcs_->total_crossbars();
+    info.tiles_x = rcs_->config().tiles_x;
+    info.tiles_y = rcs_->config().tiles_y;
+    info.xbar_rows = rcs_->config().xbar_rows;
+    info.xbar_cols = rcs_->config().xbar_cols;
+    ob->begin_run(info);
+  }
+
   inject_pre_deployment();
   {
     REMAPD_TRACE_SPAN("bist-survey", "trainer");
@@ -149,6 +168,10 @@ TrainResult FaultAwareTrainer::run() {
   {
     REMAPD_TRACE_SPAN("remap", "trainer");
     PolicyContext ctx = make_context(0);
+    // The placement round precedes deployment: its swaps are audited with
+    // round="start" (excluded from epoch swap counts) and generate no NoC
+    // weight-exchange traffic — the arrays are written fresh afterwards.
+    ctx.at_training_start = true;
     policy_->on_training_start(ctx);
     result.total_remaps += policy_->last_events().size();
   }
@@ -240,6 +263,7 @@ TrainResult FaultAwareTrainer::run() {
     }
 
     PolicyContext ctx = make_context(epoch);
+    const std::size_t audit_before = ob ? ob->audit().size() : 0;
     {
       REMAPD_TRACE_SPAN("remap", "trainer");
       policy_->on_epoch_end(ctx);
@@ -270,6 +294,24 @@ TrainResult FaultAwareTrainer::run() {
     rec.total_faults = faults;
     rec.new_faults = new_faults;
     result.history.push_back(rec);
+
+    if (ob) {
+      // Replay this round's protocol traffic (Fig. 3) from the audit
+      // records it appended, then snapshot every crossbar's health.
+      const auto& audit_recs = ob->audit().records();
+      if (audit_recs.size() > audit_before)
+        ob->noc().record_round(
+            epoch, obs::simulate_round_traffic(audit_recs, audit_before, *rcs_));
+      obs::EpochObs eo;
+      eo.epoch = epoch;
+      eo.remaps = rec.remaps;
+      eo.new_faults = rec.new_faults;
+      eo.total_faults = rec.total_faults;
+      eo.train_loss = rec.train_loss;
+      eo.test_accuracy = rec.test_accuracy;
+      eo.bist_cycles = rec.bist_cycles;
+      ob->sample_epoch(eo, *rcs_, density_, *mapper_);
+    }
 
     if (telemetry::enabled()) {
       auto& reg = telemetry::Registry::instance();

@@ -5,12 +5,17 @@
 //   REMAPD_EPOCHS   override training epochs for benches (default per-bench)
 //   REMAPD_TRAIN    override number of training samples
 //   REMAPD_TEST     override number of test samples
-//   REMAPD_LOG      log level (debug|info|warn|error)
+//   REMAPD_LOG      log level (debug|info|warn|error, case-insensitive;
+//                   unrecognized values warn once and fall back to info)
 //   REMAPD_TRACE    enable telemetry; write a chrome://tracing JSON to this
 //                   path at process exit (see telemetry/)
 //   REMAPD_METRICS  enable telemetry; write metrics to this path at exit —
 //                   JSONL if it ends in ".jsonl", plain-text summary
 //                   otherwise ("-" for stdout)
+//   REMAPD_HEALTH   enable the reliability observatory; write the health
+//                   JSONL stream to this path (and a human-readable
+//                   summary to <path>.summary.txt) at exit — see src/obs/
+//                   and tools/remapd_report.cpp
 #pragma once
 
 #include <string>

@@ -1,5 +1,7 @@
 #include "util/log.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,12 +10,17 @@ namespace {
 
 LogLevel initial_level() {
   const char* env = std::getenv("REMAPD_LOG");
-  if (!env) return LogLevel::kInfo;
-  const std::string v(env);
-  if (v == "debug") return LogLevel::kDebug;
-  if (v == "warn") return LogLevel::kWarn;
-  if (v == "error") return LogLevel::kError;
-  return LogLevel::kInfo;
+  if (!env || !*env) return LogLevel::kInfo;
+  bool ok = false;
+  const LogLevel lvl = parse_log_level(env, &ok);
+  if (!ok) {
+    // One-time warning (this runs once, at first log_level() use): a typo'd
+    // REMAPD_LOG silently reverting to info is hard to notice otherwise.
+    std::cerr << "[remapd WARN ] REMAPD_LOG=\"" << env
+              << "\" is not a known level (debug|info|warn|error); "
+                 "using info\n";
+  }
+  return lvl;
 }
 
 LogLevel& level_ref() {
@@ -31,10 +38,29 @@ const char* level_tag(LogLevel lvl) {
   return "?????";
 }
 
+// Parse REMAPD_LOG (and surface the typo warning) at program start rather
+// than at the first log call — a run that never logs, e.g. a bench with
+// verbose off, would otherwise swallow the warning entirely.
+[[maybe_unused]] const bool g_eager_init = (level_ref(), true);
+
 }  // namespace
 
 LogLevel log_level() { return level_ref(); }
 void set_log_level(LogLevel lvl) { level_ref() = lvl; }
+
+LogLevel parse_log_level(const std::string& name, bool* ok) {
+  std::string v = name;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (ok) *ok = true;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (ok) *ok = false;
+  return LogLevel::kInfo;
+}
 
 void log_message(LogLevel lvl, const std::string& msg) {
   if (lvl < level_ref()) return;

@@ -9,9 +9,14 @@ namespace remapd {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global minimum level (default Info; REMAPD_LOG=debug|info|warn|error).
+/// Global minimum level (default Info; REMAPD_LOG=debug|info|warn|error,
+/// case-insensitive; "warning" is accepted as an alias for "warn").
 LogLevel log_level();
 void set_log_level(LogLevel lvl);
+
+/// Parse a level name as REMAPD_LOG does. Sets `*ok` (when non-null) to
+/// whether `name` was recognized; unrecognized names return kInfo.
+LogLevel parse_log_level(const std::string& name, bool* ok = nullptr);
 
 void log_message(LogLevel lvl, const std::string& msg);
 

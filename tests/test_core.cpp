@@ -69,6 +69,31 @@ TEST(FaultDensityMap, ResetRedimensions) {
   EXPECT_DOUBLE_EQ(map.mean(), 0.0);
 }
 
+TEST(FaultDensityMap, ErrorVsTruthExactStats) {
+  FaultDensityMap map(4);
+  map.update({0.10, 0.20, 0.05, 0.00});
+  // Signed errors vs truth: +0.02, -0.02, +0.05, 0.00.
+  const DensityErrorStats s = map.error_vs({0.08, 0.22, 0.00, 0.00});
+  EXPECT_NEAR(s.mean_abs, (0.02 + 0.02 + 0.05 + 0.0) / 4.0, 1e-12);
+  EXPECT_NEAR(s.max_abs, 0.05, 1e-12);
+  EXPECT_NEAR(s.mean_signed, (0.02 - 0.02 + 0.05 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(FaultDensityMap, ErrorVsPerfectEstimateIsZero) {
+  FaultDensityMap map(3);
+  map.update({0.1, 0.2, 0.3});
+  const DensityErrorStats s = map.error_vs({0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(s.mean_abs, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_abs, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_signed, 0.0);
+}
+
+TEST(FaultDensityMap, ErrorVsSizeMismatchThrows) {
+  FaultDensityMap map(4);
+  EXPECT_THROW(static_cast<void>(map.error_vs({0.1, 0.2})),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------------ criticality
 
 TEST(TaskCriticality, BackwardIsCritical) {

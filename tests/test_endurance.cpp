@@ -82,6 +82,39 @@ TEST(Endurance, EpochsAreIncremental) {
   EXPECT_GT(model.advance_epoch(rcs, rng), 0u);
 }
 
+TEST(Endurance, WearIsMonotoneOverEpochs) {
+  // The observatory's per-crossbar time-series relies on wear being
+  // cumulative: across epochs, write counters and fault counts never
+  // decrease, and the CDF evaluated at the write counter never decreases.
+  RcsConfig cfg;
+  cfg.tiles_x = cfg.tiles_y = 2;
+  cfg.xbar_rows = cfg.xbar_cols = 64;
+  Rcs rcs(cfg);
+  EnduranceModel model;
+  Rng rng(5);
+
+  std::vector<std::size_t> prev_writes(rcs.total_crossbars(), 0);
+  std::vector<std::size_t> prev_faults(rcs.total_crossbars(), 0);
+  double prev_cdf = 0.0;
+  for (int e = 0; e < 6; ++e) {
+    for (XbarId x = 0; x < rcs.total_crossbars(); ++x)
+      for (int w = 0; w < 50; ++w) rcs.crossbar(x).record_array_write();
+    model.advance_epoch(rcs, rng);
+    for (XbarId x = 0; x < rcs.total_crossbars(); ++x) {
+      const Crossbar& xb = rcs.crossbar(x);
+      EXPECT_GE(xb.array_writes(), prev_writes[x]);
+      EXPECT_GE(xb.fault_count(), prev_faults[x]);
+      prev_writes[x] = xb.array_writes();
+      prev_faults[x] = xb.fault_count();
+    }
+    const double cdf =
+        model.failure_cdf(static_cast<double>(prev_writes[0]));
+    EXPECT_GE(cdf, prev_cdf);
+    prev_cdf = cdf;
+  }
+  EXPECT_GT(prev_cdf, 0.0);
+}
+
 TEST(Endurance, CumulativeFractionTracksCdf) {
   // After many epochs, the injected fraction approaches the CDF at the
   // total write count.

@@ -192,5 +192,31 @@ TEST(Log, LevelFiltering) {
   set_log_level(original);
 }
 
+TEST(Log, ParseLevelCaseInsensitive) {
+  bool ok = false;
+  EXPECT_EQ(parse_log_level("debug", &ok), LogLevel::kDebug);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("DEBUG", &ok), LogLevel::kDebug);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("Info", &ok), LogLevel::kInfo);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("WaRn", &ok), LogLevel::kWarn);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("warning", &ok), LogLevel::kWarn);  // alias
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_log_level("ERROR", &ok), LogLevel::kError);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Log, ParseLevelUnknownFallsBackToInfo) {
+  bool ok = true;
+  EXPECT_EQ(parse_log_level("verbose", &ok), LogLevel::kInfo);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(parse_log_level("", &ok), LogLevel::kInfo);
+  EXPECT_FALSE(ok);
+  // Null ok pointer is allowed.
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kInfo);
+}
+
 }  // namespace
 }  // namespace remapd
