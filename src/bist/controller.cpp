@@ -1,6 +1,9 @@
 #include "bist/controller.hpp"
 
+#include <algorithm>
+
 #include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
 #include "xbar/rcs.hpp"
 
 namespace remapd {
@@ -51,14 +54,22 @@ BistReport BistController::run(Crossbar& xb) const {
 
 std::vector<double> BistController::survey(Rcs& rcs,
                                            std::uint64_t* total_cycles) const {
-  std::vector<double> densities;
-  densities.reserve(rcs.total_crossbars());
-  std::uint64_t cycles = 0;
-  for (XbarId id = 0; id < rcs.total_crossbars(); ++id) {
-    const BistReport r = run(rcs.crossbar(id));
-    densities.push_back(r.density_estimate);
-    cycles = std::max(cycles, r.cycles);  // IMAs test concurrently
-  }
+  const std::size_t total = rcs.total_crossbars();
+  std::vector<double> densities(total, 0.0);
+  std::vector<std::uint64_t> cycles_of(total, 0);
+  // Crossbars test independently (the run() mutates only its own crossbar
+  // and writes its own result slot), and the BIST read-out consumes no RNG,
+  // so the survey parallelizes with bitwise-identical estimates at any
+  // thread count.
+  parallel_for(0, total, 1, [&](std::size_t x0, std::size_t x1) {
+    for (XbarId id = x0; id < x1; ++id) {
+      const BistReport r = run(rcs.crossbar(id));
+      densities[id] = r.density_estimate;
+      cycles_of[id] = r.cycles;
+    }
+  });
+  std::uint64_t cycles = 0;  // IMAs test concurrently -> max, not sum
+  for (std::uint64_t c : cycles_of) cycles = std::max(cycles, c);
   if (total_cycles) *total_cycles = cycles;
 
   telemetry::count("bist.surveys");

@@ -27,13 +27,13 @@ BatchNorm::BatchNorm(std::size_t channels, float momentum, float eps,
       running_mean_(Tensor::zeros(Shape{channels})),
       running_var_(Tensor::ones(Shape{channels})),
       window_mean_(Tensor::zeros(Shape{channels})),
-      window_var_(Tensor::zeros(Shape{channels})),
+      window_m2_(Tensor::zeros(Shape{channels})),
       tag_(std::move(tag)) {}
 
 void BatchNorm::begin_stats_window() {
   window_mean_.fill(0.0f);
-  window_var_.fill(0.0f);
-  window_batches_ = 0;
+  window_m2_.fill(0.0f);
+  window_count_ = 0.0;
 }
 
 Tensor BatchNorm::forward(const Tensor& x, bool train) {
@@ -69,12 +69,25 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
                           momentum_ * static_cast<float>(mean);
       running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
                          momentum_ * static_cast<float>(var);
-      window_mean_[ch] += static_cast<float>(mean);
-      window_var_[ch] += static_cast<float>(var);
-      if (ch + 1 == channels_) ++window_batches_;
-    } else if (window_batches_ > 0) {
-      mean = window_mean_[ch] / static_cast<float>(window_batches_);
-      var = window_var_[ch] / static_cast<float>(window_batches_);
+      // Chan et al. parallel merge of (count, mean, M2): the pooled window
+      // variance includes the spread of the batch means, exactly matching
+      // a direct computation over every sample in the window.
+      {
+        const double nb = static_cast<double>(count);
+        const double nw = window_count_;
+        const double delta = mean - window_mean_[ch];
+        const double n_new = nw + nb;
+        window_mean_[ch] =
+            static_cast<float>(window_mean_[ch] + delta * nb / n_new);
+        window_m2_[ch] = static_cast<float>(
+            window_m2_[ch] + var * nb + delta * delta * nw * nb / n_new);
+        // Every channel of a batch merges the same sample count; advance
+        // the shared counter once per batch, after the last channel.
+        if (ch + 1 == channels_) window_count_ = n_new;
+      }
+    } else if (window_count_ > 0.0) {
+      mean = window_mean_[ch];
+      var = window_m2_[ch] / window_count_;
     } else {
       mean = running_mean_[ch];
       var = running_var_[ch];

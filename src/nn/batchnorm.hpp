@@ -17,11 +17,14 @@ class BatchNorm final : public Layer {
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   [[nodiscard]] std::string name() const override { return tag_; }
 
-  /// Start a fresh statistics window. Inference uses the within-window
-  /// average of the batch statistics; the trainer opens a window per epoch
-  /// so evaluation sees the activation distribution of the *current*
-  /// weights (important when faulted weights shift activations over
-  /// training — stale EMA statistics would misnormalize).
+  /// Start a fresh statistics window. Inference uses the exact statistics
+  /// of all samples seen in the window (aggregated as count/mean/M2 per
+  /// channel, so the variance of the batch means is included — averaging
+  /// per-batch variances would under-estimate the pooled variance for
+  /// small batches); the trainer opens a window per epoch so evaluation
+  /// sees the activation distribution of the *current* weights (important
+  /// when faulted weights shift activations over training — stale EMA
+  /// statistics would misnormalize).
   void begin_stats_window();
 
  private:
@@ -29,8 +32,8 @@ class BatchNorm final : public Layer {
   float momentum_, eps_;
   Param gamma_, beta_;
   Tensor running_mean_, running_var_;   ///< EMA fallback (empty window)
-  Tensor window_mean_, window_var_;     ///< per-window accumulated sums
-  std::size_t window_batches_ = 0;
+  Tensor window_mean_, window_m2_;      ///< Chan-style pooled mean / M2
+  double window_count_ = 0.0;           ///< samples merged into the window
   std::string tag_;
 
   // Saved batch statistics / normalized activations for backward.

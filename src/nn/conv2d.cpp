@@ -1,8 +1,10 @@
 #include "nn/conv2d.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/gemm.hpp"
+#include "util/parallel.hpp"
 
 namespace remapd {
 
@@ -48,22 +50,30 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 
   Tensor cols(Shape{n, cr * cc});
   Tensor y(Shape{n, out_ch_, oh, ow});
-  const Tensor& we = effective_weights(fwd_view_, fwd_eff_);
+  // Eval-mode forwards may run concurrently (parallel test-set batches), so
+  // the clamped-weight cache member is only written on the single-threaded
+  // training path; eval uses a call-local buffer.
+  Tensor local_eff;
+  const Tensor& we =
+      effective_weights(fwd_view_, train ? fwd_eff_ : local_eff);
 
-  for (std::size_t i = 0; i < n; ++i) {
-    float* col = cols.data() + i * cr * cc;
-    im2col(x.data() + i * in_ch_ * g.height * g.width, g, col);
-    // y_i = We (out x cr) * col (cr x cc)
-    gemm(false, false, out_ch_, cc, cr, 1.0f, we.data(), cr, col, cc, 0.0f,
-         y.data() + i * out_ch_ * cc, cc);
-  }
-  // Bias broadcast over spatial positions.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t o = 0; o < out_ch_; ++o) {
-      float* plane = y.data() + (i * out_ch_ + o) * cc;
-      const float b = bias_.value[o];
-      for (std::size_t p = 0; p < cc; ++p) plane[p] += b;
+  // Samples are independent (disjoint cols/y slices, no reduction), so the
+  // batch loop parallelizes without any change to per-sample arithmetic.
+  parallel_for(0, n, 1, [&](std::size_t s0, std::size_t s1) {
+    for (std::size_t i = s0; i < s1; ++i) {
+      float* col = cols.data() + i * cr * cc;
+      im2col(x.data() + i * in_ch_ * g.height * g.width, g, col);
+      // y_i = We (out x cr) * col (cr x cc)
+      gemm(false, false, out_ch_, cc, cr, 1.0f, we.data(), cr, col, cc, 0.0f,
+           y.data() + i * out_ch_ * cc, cc);
+      // Bias broadcast over spatial positions.
+      for (std::size_t o = 0; o < out_ch_; ++o) {
+        float* plane = y.data() + (i * out_ch_ + o) * cc;
+        const float b = bias_.value[o];
+        for (std::size_t p = 0; p < cc; ++p) plane[p] += b;
+      }
     }
+  });
 
   if (train) {
     last_cols_ = std::move(cols);
@@ -85,18 +95,51 @@ Tensor Conv2d::backward(const Tensor& dy) {
   // MVMs (forward y = W*x, backward dx = W^T*dy) traverse faulty crossbars.
   Tensor dx(Shape{n, in_ch_, g.height, g.width});
   const Tensor& wb = effective_weights(bwd_view_, bwd_eff_);
-  Tensor dcol(Shape{cr, cc});
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* dyi = dy.data() + i * out_ch_ * cc;
-    const float* col = last_cols_.data() + i * cr * cc;
-    // dW += dy_i (out x cc) * col^T (cc x cr)
-    gemm(false, true, out_ch_, cr, cc, 1.0f, dyi, cc, col, cc, 1.0f,
-         weight_.grad.data(), cr);
-    // dcol = We_bwd^T (cr x out) * dy_i (out x cc)
-    gemm(true, false, cr, cc, out_ch_, 1.0f, wb.data(), cr, dyi, cc, 0.0f,
-         dcol.data(), cc);
-    col2im(dcol.data(), g, dx.data() + i * in_ch_ * g.height * g.width);
+  // dW/db accumulate across samples — a reduction. Each block of samples
+  // sums into its own scratch, and the scratches are merged in block-index
+  // order below. The block structure depends only on the batch size, so
+  // the FP summation grouping (and thus the result) is identical at any
+  // thread count, including the serial path.
+  const std::size_t grain = reduction_grain(n);
+  const std::size_t nb = num_blocks(0, n, grain);
+  std::vector<Tensor> dw_scratch(nb);
+  std::vector<std::vector<float>> db_scratch(
+      nb, std::vector<float>(out_ch_, 0.0f));
+  for (Tensor& t : dw_scratch) t = Tensor::zeros(weight_.grad.shape());
+
+  parallel_for_blocks(0, n, grain,
+                      [&](std::size_t s0, std::size_t s1, std::size_t blk) {
+    Tensor dcol(Shape{cr, cc});
+    Tensor& dw = dw_scratch[blk];
+    std::vector<float>& db = db_scratch[blk];
+    for (std::size_t i = s0; i < s1; ++i) {
+      const float* dyi = dy.data() + i * out_ch_ * cc;
+      const float* col = last_cols_.data() + i * cr * cc;
+      // dW_blk += dy_i (out x cc) * col^T (cc x cr)
+      gemm(false, true, out_ch_, cr, cc, 1.0f, dyi, cc, col, cc, 1.0f,
+           dw.data(), cr);
+      // dcol = We_bwd^T (cr x out) * dy_i (out x cc)
+      gemm(true, false, cr, cc, out_ch_, 1.0f, wb.data(), cr, dyi, cc, 0.0f,
+           dcol.data(), cc);
+      col2im(dcol.data(), g, dx.data() + i * in_ch_ * g.height * g.width);
+      // db_blk += sum over spatial.
+      for (std::size_t o = 0; o < out_ch_; ++o) {
+        const float* plane = dyi + o * cc;
+        float s = 0.0f;
+        for (std::size_t p = 0; p < cc; ++p) s += plane[p];
+        db[o] += s;
+      }
+    }
+  });
+
+  // Fixed-order merge of the per-block partials.
+  for (std::size_t blk = 0; blk < nb; ++blk) {
+    const Tensor& dw = dw_scratch[blk];
+    for (std::size_t e = 0; e < weight_.grad.numel(); ++e)
+      weight_.grad[e] += dw[e];
+    for (std::size_t o = 0; o < out_ch_; ++o)
+      bias_.grad[o] += db_scratch[blk][o];
   }
   // Gradient components that traverse stuck backward-array cells are
   // pinned at a fixed sign and full-scale magnitude relative to the MVM's
@@ -104,14 +147,6 @@ Tensor Conv2d::backward(const Tensor& dy) {
   // each weight update" failure mode of §III.B.2 — a persistent
   // directional error at fixed positions, not zero-mean noise.
   apply_gradient_pinning(bwd_view_, weight_.grad);
-  // db += sum over batch and spatial.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t o = 0; o < out_ch_; ++o) {
-      const float* plane = dy.data() + (i * out_ch_ + o) * cc;
-      float s = 0.0f;
-      for (std::size_t p = 0; p < cc; ++p) s += plane[p];
-      bias_.grad[o] += s;
-    }
   return dx;
 }
 

@@ -21,6 +21,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace remapd {
@@ -81,11 +83,18 @@ struct FaultView {
     return w;
   }
 
-  /// Copy `n` digital weights into `out`, then apply the clamps.
+  /// Copy `n` digital weights into `out`, then apply the clamps. A clamp
+  /// index at or past `n` means the mapper built this view for a different
+  /// layer shape — silently dropping it would make the crossbar look
+  /// healthier than it is, so it throws instead.
   void apply(const float* w, float* out, std::size_t n) const {
     for (std::size_t i = 0; i < n; ++i) out[i] = w[i];
     for (const auto& c : clamps) {
-      if (c.index < n) out[c.index] = clamp_value(w[c.index], c.kind);
+      if (c.index >= n)
+        throw std::out_of_range("FaultView::apply: clamp index " +
+                                std::to_string(c.index) +
+                                " >= weight count " + std::to_string(n));
+      out[c.index] = clamp_value(w[c.index], c.kind);
     }
   }
 };

@@ -41,7 +41,11 @@ Tensor Linear::forward(const Tensor& x, bool train) {
     throw std::invalid_argument(tag_ + ": bad input " + x.shape().str());
   Tensor x2 = x.reshaped(Shape{n, in_f_});
 
-  const Tensor& we = effective_weights(fwd_view_, fwd_eff_);
+  // As in Conv2d: eval-mode forwards may run concurrently, so only the
+  // training path writes the member cache.
+  Tensor local_eff;
+  const Tensor& we =
+      effective_weights(fwd_view_, train ? fwd_eff_ : local_eff);
   Tensor y(Shape{n, out_f_});
   // y = x2 (n x in) * We^T (in x out)
   gemm(false, true, n, out_f_, in_f_, 1.0f, x2.data(), in_f_, we.data(),

@@ -18,6 +18,12 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   if (train) {
     argmax_.assign(y.numel(), 0);
     input_shape_ = x.shape();
+    stale_.store(false, std::memory_order_relaxed);
+  } else {
+    // Invalidate the training-time state: a backward after an eval-mode
+    // forward would otherwise silently reuse argmax_/input_shape_ from an
+    // older training batch.
+    stale_.store(true, std::memory_order_relaxed);
   }
   std::size_t oi = 0;
   for (std::size_t i = 0; i < n; ++i)
@@ -47,6 +53,9 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
 Tensor MaxPool2d::backward(const Tensor& dy) {
   if (argmax_.empty())
     throw std::logic_error("maxpool: backward before forward");
+  if (stale_.load(std::memory_order_relaxed))
+    throw std::logic_error(
+        "maxpool: backward after eval-mode forward (saved argmax is stale)");
   Tensor dx = Tensor::zeros(input_shape_);
   for (std::size_t i = 0; i < dy.numel(); ++i) dx[argmax_[i]] += dy[i];
   return dx;

@@ -2,6 +2,7 @@
 // hence fault-free in the simulation.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -21,6 +22,12 @@ class MaxPool2d final : public Layer {
   std::size_t window_;
   std::vector<std::size_t> argmax_;  ///< flat input index per output element
   Shape input_shape_;
+  /// Set by eval-mode forward: the saved argmax no longer corresponds to
+  /// the last forward, so backward must throw instead of silently routing
+  /// gradients with an older batch's indices. Atomic (not a clear of
+  /// argmax_) so concurrent eval-mode forwards — parallel test batches —
+  /// stay race-free.
+  std::atomic<bool> stale_{true};
 };
 
 /// Global average pooling: (N, C, H, W) -> (N, C).

@@ -1,15 +1,19 @@
 #include "tensor/gemm.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
 
 namespace remapd {
 namespace {
 
 // Cached telemetry handles: registered once, updated only when telemetry is
-// enabled (KernelTimer / enabled() gate the hot path).
+// enabled (KernelTimer / enabled() gate the hot path). The function-local
+// static makes the first (possibly concurrent) initialization race-free;
+// the handles themselves are relaxed atomics.
 struct GemmTelemetry {
   telemetry::Counter& calls;
   telemetry::Counter& flops;
@@ -30,11 +34,25 @@ constexpr std::size_t kBlockM = 32;
 constexpr std::size_t kBlockN = 64;
 constexpr std::size_t kBlockK = 64;
 
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, std::size_t lda, const float* b, std::size_t ldb,
-             float* c, std::size_t ldc) {
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::size_t i1 = std::min(i0 + kBlockM, m);
+bool panel_all_finite(const float* b, std::size_t k, std::size_t n,
+                      std::size_t ldb) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* brow = b + p * ldb;
+    for (std::size_t j = 0; j < n; ++j)
+      if (!std::isfinite(brow[j])) return false;
+  }
+  return true;
+}
+
+// Kernel over the row range [r0, r1) of C. Per-row update order (the p then
+// j block walk) is independent of the row partition, so splitting rows
+// across threads leaves every row's FP summation order unchanged.
+void gemm_nn_rows(std::size_t r0, std::size_t r1, std::size_t n,
+                  std::size_t k, float alpha, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float* c, std::size_t ldc,
+                  bool skip_zero_a) {
+  for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, r1);
     for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
       const std::size_t p1 = std::min(p0 + kBlockK, k);
       for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
@@ -42,7 +60,7 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
         for (std::size_t i = i0; i < i1; ++i) {
           for (std::size_t p = p0; p < p1; ++p) {
             const float aval = alpha * a[i * lda + p];
-            if (aval == 0.0f) continue;
+            if (skip_zero_a && aval == 0.0f) continue;
             const float* brow = b + p * ldb;
             float* crow = c + i * ldc;
             for (std::size_t j = j0; j < j1; ++j) crow[j] += aval * brow[j];
@@ -51,6 +69,22 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
       }
     }
   }
+}
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float* c, std::size_t ldc) {
+  // Zero entries of A may only short-circuit the B row when B is known
+  // finite: 0 * NaN/Inf must stay NaN (a diverging activation or a
+  // full-scale stuck weight must surface, not be masked by sparsity).
+  const bool skip_zero_a = panel_all_finite(b, k, n, ldb);
+  // Row-partitioned: each block owns a disjoint set of C rows, so there is
+  // no reduction and per-row arithmetic is bitwise identical at any thread
+  // count. Grain = kBlockM keeps the i-blocking aligned with the serial
+  // kernel's walk.
+  parallel_for(0, m, kBlockM, [&](std::size_t r0, std::size_t r1) {
+    gemm_nn_rows(r0, r1, n, k, alpha, a, lda, b, ldb, c, ldc, skip_zero_a);
+  });
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 // for 50 epochs on a GPU; our CPU reproduction runs scaled variants whose
 // size can be tuned without recompiling:
 //
+//   REMAPD_THREADS  worker threads for the deterministic parallel layer
+//                   (unset → hardware concurrency; 0 or 1 → serial fast
+//                   path). Results are bitwise identical at any setting —
+//                   see util/parallel.hpp for the contract
 //   REMAPD_EPOCHS   override training epochs for benches (default per-bench)
 //   REMAPD_TRAIN    override number of training samples
 //   REMAPD_TEST     override number of test samples

@@ -1,0 +1,202 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/env.hpp"
+
+namespace remapd {
+namespace {
+
+thread_local bool tl_in_parallel = false;
+
+std::size_t resolve_env_threads() {
+  // Unset (or negative) -> one worker per hardware thread; an explicit
+  // 0 or 1 -> serial fast path.
+  const int v = env_int("REMAPD_THREADS", -1);
+  if (v < 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+  }
+  return v <= 1 ? 1 : static_cast<std::size_t>(v);
+}
+
+/// Persistent pool. One job runs at a time (job_mu_); blocks are claimed
+/// with a monotone fetch-add so a worker that wakes late for an old job
+/// either claims a valid block of the current job or sees an exhausted
+/// cursor and goes back to sleep — either way every block of every job runs
+/// exactly once.
+class Pool {
+ public:
+  explicit Pool(std::size_t threads) : threads_(threads) {
+    workers_.reserve(threads_ - 1);
+    for (std::size_t t = 0; t + 1 < threads_; ++t)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  void run(std::size_t nblocks,
+           const std::function<void(std::size_t)>& block_fn) {
+    std::lock_guard<std::mutex> job_lock(job_mu_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_.store(&block_fn);
+      nblocks_.store(nblocks);
+      done_ = 0;
+      error_ = nullptr;
+      // The cursor reset is sequenced after fn_/nblocks_ above (all
+      // seq_cst), so any thread that claims a block < nblocks observes the
+      // new job's function.
+      next_.store(0);
+      ++epoch_;
+    }
+    cv_.notify_all();
+    drain();  // the caller is worker #0
+    std::exception_ptr err;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return done_ == nblocks_.load() && active_ == 0; });
+      fn_.store(nullptr);
+      err = error_;
+      error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        ++active_;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        --active_;
+        if (done_ == nblocks_.load() && active_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  /// Claim and execute blocks until the cursor runs past the job.
+  void drain() {
+    const bool was_in_parallel = tl_in_parallel;
+    tl_in_parallel = true;
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1);
+      if (i >= nblocks_.load()) break;
+      const auto* fn = fn_.load();
+      if (!fn) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      ++completed;
+    }
+    tl_in_parallel = was_in_parallel;
+    if (completed) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_ += completed;
+      if (done_ == nblocks_.load()) done_cv_.notify_all();
+    }
+  }
+
+  const std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mu_;  ///< serializes run() calls
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes workers for a new epoch
+  std::condition_variable done_cv_;  ///< wakes the caller on completion
+  std::uint64_t epoch_ = 0;
+  std::size_t done_ = 0;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::atomic<const std::function<void(std::size_t)>*> fn_{nullptr};
+  std::atomic<std::size_t> nblocks_{0};
+  std::atomic<std::size_t> next_{0};
+};
+
+std::mutex g_pool_mu;
+std::unique_ptr<Pool> g_pool;    // non-null iff g_threads > 1
+std::size_t g_threads = 0;       // 0 = not yet resolved
+
+void ensure_resolved_locked() {
+  if (g_threads == 0) {
+    g_threads = resolve_env_threads();
+    if (g_threads > 1) g_pool = std::make_unique<Pool>(g_threads);
+  }
+}
+
+Pool* current_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  ensure_resolved_locked();
+  return g_pool.get();
+}
+
+}  // namespace
+
+std::size_t parallel_threads() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  ensure_resolved_locked();
+  return g_threads;
+}
+
+void set_parallel_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool.reset();
+  g_threads = n <= 1 ? 1 : n;
+  if (g_threads > 1) g_pool = std::make_unique<Pool>(g_threads);
+}
+
+bool in_parallel_region() { return tl_in_parallel; }
+
+void parallel_for_blocks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t nblocks = num_blocks(begin, end, grain);
+  const auto run_block = [&](std::size_t blk) {
+    const std::size_t b0 = begin + blk * grain;
+    const std::size_t b1 = std::min(b0 + grain, end);
+    body(b0, b1, blk);
+  };
+  Pool* pool = tl_in_parallel ? nullptr : current_pool();
+  if (!pool || nblocks == 1) {
+    // Serial fast path and nested calls: same block structure, same
+    // arithmetic, no thread machinery.
+    for (std::size_t blk = 0; blk < nblocks; ++blk) run_block(blk);
+    return;
+  }
+  pool->run(nblocks, run_block);
+}
+
+}  // namespace remapd

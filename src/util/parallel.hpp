@@ -1,0 +1,81 @@
+// Deterministic work-sharing layer: a small persistent thread pool behind a
+// `parallel_for` with *static block partitioning*.
+//
+// Determinism contract
+// --------------------
+// The iteration range is cut into fixed-size blocks of `grain` elements;
+// the block structure depends only on (range, grain) — never on the thread
+// count. Blocks are the unit of scheduling AND the unit of arithmetic:
+//   - a body that writes disjoint outputs per block is trivially bitwise
+//     reproducible at any REMAPD_THREADS, and
+//   - a reduction done into per-block partials and merged in block-index
+//     order afterwards performs the identical floating-point sum grouping
+//     whether 1 or 64 threads executed the blocks.
+// Callers must therefore never branch on the thread count inside a body and
+// never share mutable state across blocks (except via relaxed atomics whose
+// final value is order-independent, e.g. integer counters).
+//
+// Sizing: REMAPD_THREADS (unset -> hardware concurrency; 0 or 1 -> serial
+// fast path that touches no thread machinery). Tests and benches can
+// reconfigure at runtime with set_parallel_threads().
+//
+// Nesting: a parallel_for issued from inside a parallel_for body runs
+// inline on the calling worker (the block structure of the inner loop is
+// unchanged, so results stay identical — only the execution is serial).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+namespace remapd {
+
+/// Worker count currently in effect (>= 1; 1 means serial). Resolved from
+/// REMAPD_THREADS on first use.
+std::size_t parallel_threads();
+
+/// Reconfigure the pool (joins existing workers, spawns `n - 1` new ones).
+/// `n` of 0 or 1 selects the serial fast path. Not safe to call while
+/// parallel_for is executing on another thread; intended for tests/benches
+/// and process startup.
+void set_parallel_threads(std::size_t n);
+
+/// True while the calling thread is executing a parallel_for body.
+bool in_parallel_region();
+
+/// Number of blocks `parallel_for` will use for a range and grain.
+inline std::size_t num_blocks(std::size_t begin, std::size_t end,
+                              std::size_t grain) {
+  if (end <= begin) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+/// Grain that caps a reduction at `max_blocks` per-block partials. The cap
+/// is a compile-time-style constant per call site — it must NOT be derived
+/// from the thread count, or the partial-sum grouping (and hence the FP
+/// result) would change with REMAPD_THREADS.
+inline std::size_t reduction_grain(std::size_t range,
+                                   std::size_t max_blocks = 16) {
+  if (max_blocks == 0) max_blocks = 1;
+  return std::max<std::size_t>(1, (range + max_blocks - 1) / max_blocks);
+}
+
+/// Run `body(block_begin, block_end, block_index)` for every block of the
+/// partition of [begin, end) into `grain`-sized blocks. Blocks may execute
+/// concurrently and in any order; each executes exactly once. Exceptions
+/// thrown by a body are rethrown (first one wins) after all blocks finish.
+void parallel_for_blocks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Convenience wrapper for bodies that don't need the block index.
+inline void parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for_blocks(
+      begin, end, grain,
+      [&body](std::size_t b0, std::size_t b1, std::size_t) { body(b0, b1); });
+}
+
+}  // namespace remapd

@@ -48,6 +48,18 @@ class Rng {
     return Rng(a ^ (b << 1) ^ 0x9e37'79b9'7f4a'7c15ULL);
   }
 
+  /// Stateless, order-free derivation of a child seed for stream `stream`
+  /// of `base` (splitmix64 finalizer). Unlike split(), this consumes no
+  /// generator state, so workloads that give each unit of work (e.g. each
+  /// crossbar) its own child RNG keyed by id produce identical streams no
+  /// matter how many threads process the units or in which order.
+  static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+    std::uint64_t z = base + 0x9e37'79b9'7f4a'7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d0'49bb'1331'11ebULL;
+    return z ^ (z >> 31);
+  }
+
   /// Sample k distinct indices from [0, n) without replacement.
   /// Ordering of the result is unspecified but deterministic for a seed.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,

@@ -1,7 +1,10 @@
 #include "xbar/fault_model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "util/parallel.hpp"
 
 namespace remapd {
 
@@ -45,31 +48,38 @@ std::size_t FaultInjector::inject_pre_deployment(Rcs& rcs) {
   std::vector<bool> is_high(total, false);
   for (std::size_t id : high_set) is_high[id] = true;
 
-  std::size_t injected = 0;
-  for (XbarId id = 0; id < total; ++id) {
-    Crossbar& xb = rcs.crossbar(id);
-    const double density =
-        is_high[id]
-            ? rng_.uniform(scenario_.high_density_lo,
-                           scenario_.high_density_hi)
-            : rng_.uniform(scenario_.low_density_lo,
-                           scenario_.low_density_hi);
-    const auto count = static_cast<std::size_t>(
-        std::llround(density * static_cast<double>(xb.cell_count())));
-    if (count == 0) continue;
-    injected += scenario_.clusters_per_xbar > 0
-                    ? xb.inject_clustered_faults(count,
-                                                 scenario_.sa0_fraction,
-                                                 scenario_.clusters_per_xbar,
-                                                 rng_)
-                    : xb.inject_random_faults(count, scenario_.sa0_fraction,
-                                              rng_);
-  }
-  return injected;
+  // Each crossbar draws its density and fault pattern from its own child
+  // RNG (round 0 = pre-deployment), so the loop parallelizes over disjoint
+  // crossbars with patterns that are identical at any thread count. The
+  // count is an order-free integer sum, so a relaxed atomic suffices.
+  std::atomic<std::size_t> injected{0};
+  parallel_for(0, total, 1, [&](std::size_t x0, std::size_t x1) {
+    for (XbarId id = x0; id < x1; ++id) {
+      Crossbar& xb = rcs.crossbar(id);
+      Rng xrng = crossbar_rng(/*round=*/0, id);
+      const double density =
+          is_high[id]
+              ? xrng.uniform(scenario_.high_density_lo,
+                             scenario_.high_density_hi)
+              : xrng.uniform(scenario_.low_density_lo,
+                             scenario_.low_density_hi);
+      const auto count = static_cast<std::size_t>(
+          std::llround(density * static_cast<double>(xb.cell_count())));
+      if (count == 0) continue;
+      const std::size_t got =
+          scenario_.clusters_per_xbar > 0
+              ? xb.inject_clustered_faults(count, scenario_.sa0_fraction,
+                                           scenario_.clusters_per_xbar, xrng)
+              : xb.inject_random_faults(count, scenario_.sa0_fraction, xrng);
+      injected.fetch_add(got, std::memory_order_relaxed);
+    }
+  });
+  return injected.load(std::memory_order_relaxed);
 }
 
 std::size_t FaultInjector::inject_post_deployment(Rcs& rcs) {
   if (!scenario_.enable_post) return 0;
+  const std::size_t round = ++post_rounds_;  // round 0 is pre-deployment
   if (scenario_.mechanistic_endurance) {
     if (!endurance_initialized_) {
       endurance_model_ = EnduranceModel(scenario_.endurance);
@@ -112,18 +122,27 @@ std::size_t FaultInjector::inject_post_deployment(Rcs& rcs) {
     }
   }
 
-  std::size_t injected = 0;
-  for (XbarId id : chosen) {
-    Crossbar& xb = rcs.crossbar(id);
-    const auto n = static_cast<std::size_t>(std::llround(
-        scenario_.post_cell_fraction *
-        static_cast<double>(xb.cell_count())));
-    // Post-deployment (endurance) faults are not spatially clustered the
-    // way forming defects are — they follow cell usage.
-    injected += xb.inject_random_faults(
-        std::max<std::size_t>(n, 1), scenario_.sa0_fraction, rng_);
-  }
-  return injected;
+  // The weighted selection above is inherently sequential (tiny) and stays
+  // on the shared RNG; the injections themselves are per-crossbar and use
+  // round-keyed child RNGs, so they parallelize deterministically.
+  std::atomic<std::size_t> injected{0};
+  parallel_for(0, chosen.size(), 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t ci = c0; ci < c1; ++ci) {
+      const XbarId id = chosen[ci];
+      Crossbar& xb = rcs.crossbar(id);
+      Rng xrng = crossbar_rng(round, id);
+      const auto n = static_cast<std::size_t>(std::llround(
+          scenario_.post_cell_fraction *
+          static_cast<double>(xb.cell_count())));
+      // Post-deployment (endurance) faults are not spatially clustered the
+      // way forming defects are — they follow cell usage.
+      injected.fetch_add(
+          xb.inject_random_faults(std::max<std::size_t>(n, 1),
+                                  scenario_.sa0_fraction, xrng),
+          std::memory_order_relaxed);
+    }
+  });
+  return injected.load(std::memory_order_relaxed);
 }
 
 }  // namespace remapd

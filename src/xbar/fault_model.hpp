@@ -50,10 +50,15 @@ struct FaultScenario {
 };
 
 /// Applies a FaultScenario to an Rcs over the training timeline.
+///
+/// Each crossbar's faults are drawn from a child RNG deterministically
+/// derived from (base seed, injection round, crossbar id), so the injected
+/// patterns are identical no matter how many threads process the
+/// per-crossbar loops (REMAPD_THREADS) or in which order.
 class FaultInjector {
  public:
   FaultInjector(FaultScenario scenario, Rng& rng)
-      : scenario_(scenario), rng_(rng) {}
+      : scenario_(scenario), rng_(rng), base_seed_(rng.engine()()) {}
 
   [[nodiscard]] const FaultScenario& scenario() const { return scenario_; }
 
@@ -68,8 +73,16 @@ class FaultInjector {
   std::size_t inject_post_deployment(Rcs& rcs);
 
  private:
+  /// Child RNG for crossbar `id` in injection round `round` (round 0 =
+  /// pre-deployment, then one per post-deployment epoch).
+  [[nodiscard]] Rng crossbar_rng(std::size_t round, XbarId id) const {
+    return Rng(Rng::derive_seed(Rng::derive_seed(base_seed_, round), id));
+  }
+
   FaultScenario scenario_;
   Rng& rng_;
+  std::uint64_t base_seed_;   ///< drawn once from rng_ at construction
+  std::size_t post_rounds_ = 0;
   EnduranceModel endurance_model_{EnduranceConfig{}};
   bool endurance_initialized_ = false;
 };

@@ -1,0 +1,409 @@
+// Tests for the deterministic work-sharing layer (util/parallel) and for
+// the thread-count invariance it promises: the same seed must produce
+// bitwise-identical results whether REMAPD_THREADS is 1 or 4. Also holds
+// the regression tests for the silent-correctness bugs fixed alongside it
+// (NaN suppression in gemm, dropped out-of-range clamps, biased BatchNorm
+// window variance, stale MaxPool argmax reuse).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "bist/controller.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/fault_view.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/gemm.hpp"
+#include "trainer/fault_aware_trainer.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "xbar/fault_model.hpp"
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+namespace {
+
+/// Scoped thread-count override; restores the previous pool on exit so the
+/// global configuration never leaks between tests.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) : old_(parallel_threads()) {
+    set_parallel_threads(n);
+  }
+  ~ThreadGuard() { set_parallel_threads(old_); }
+
+ private:
+  std::size_t old_;
+};
+
+// ---------------------------------------------------------------------------
+// parallel_for mechanics
+// ---------------------------------------------------------------------------
+
+TEST(Parallel, EveryIndexVisitedExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadGuard guard(threads);
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{7}, std::size_t{100}}) {
+      std::vector<std::atomic<int>> visits(53);
+      parallel_for(2, 53, grain, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t i = b0; i < b1; ++i)
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), i >= 2 ? 1 : 0)
+            << "threads=" << threads << " grain=" << grain << " i=" << i;
+    }
+  }
+}
+
+TEST(Parallel, BlockStructureIndependentOfThreadCount) {
+  // The (block index -> [b0, b1)) map is part of the determinism contract:
+  // it may depend on range and grain only.
+  const auto collect = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    std::map<std::size_t, std::pair<std::size_t, std::size_t>> blocks;
+    std::mutex mu;
+    parallel_for_blocks(
+        5, 47, 4, [&](std::size_t b0, std::size_t b1, std::size_t blk) {
+          std::lock_guard<std::mutex> lock(mu);
+          EXPECT_TRUE(blocks.emplace(blk, std::make_pair(b0, b1)).second);
+        });
+    return blocks;
+  };
+  const auto serial = collect(1);
+  const auto parallel = collect(4);
+  EXPECT_EQ(serial.size(), num_blocks(5, 47, 4));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, EmptyRangeAndZeroGrain) {
+  ThreadGuard guard(4);
+  bool ran = false;
+  parallel_for(10, 10, 4, [&](std::size_t, std::size_t) { ran = true; });
+  parallel_for(10, 3, 4, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  // grain 0 behaves as grain 1.
+  EXPECT_EQ(num_blocks(0, 5, 0), 5u);
+  std::atomic<int> count{0};
+  parallel_for(0, 5, 0, [&](std::size_t b0, std::size_t b1) {
+    count.fetch_add(static_cast<int>(b1 - b0));
+  });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(Parallel, NestedLoopRunsInlineAndCoversRange) {
+  ThreadGuard guard(4);
+  EXPECT_FALSE(in_parallel_region());
+  std::vector<std::atomic<int>> visits(24);
+  parallel_for(0, 4, 1, [&](std::size_t o0, std::size_t o1) {
+    EXPECT_TRUE(in_parallel_region());
+    for (std::size_t o = o0; o < o1; ++o) {
+      parallel_for(0, 6, 2, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          visits[o * 6 + i].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_FALSE(in_parallel_region());
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Parallel, ExceptionPropagatesAndPoolSurvives) {
+  ThreadGuard guard(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [&](std::size_t b0, std::size_t) {
+                     if (b0 == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must still be usable after a failed job.
+  std::atomic<int> count{0};
+  parallel_for(0, 100, 1, [&](std::size_t b0, std::size_t b1) {
+    count.fetch_add(static_cast<int>(b1 - b0));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, ReconfigureThreadCount) {
+  ThreadGuard guard(4);
+  EXPECT_EQ(parallel_threads(), 4u);
+  set_parallel_threads(2);
+  EXPECT_EQ(parallel_threads(), 2u);
+  set_parallel_threads(0);  // 0 means serial, same as 1
+  EXPECT_EQ(parallel_threads(), 1u);
+}
+
+TEST(Parallel, ReductionGrainCapsBlockCount) {
+  for (const std::size_t range : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{16}, std::size_t{17},
+                                  std::size_t{1000}}) {
+    const std::size_t g = reduction_grain(range);
+    EXPECT_LE(num_blocks(0, range, g), 16u) << "range=" << range;
+    EXPECT_GE(g, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise thread-count invariance of the parallelized hot paths
+// ---------------------------------------------------------------------------
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+TEST(ParallelDeterminism, GemmBitwise) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{64, 48}, rng);
+  const Tensor b = Tensor::randn(Shape{48, 56}, rng);
+  Tensor c1, c4;
+  {
+    ThreadGuard guard(1);
+    c1 = matmul(a, b);
+  }
+  {
+    ThreadGuard guard(4);
+    c4 = matmul(a, b);
+  }
+  EXPECT_TRUE(bitwise_equal(c1, c4));
+}
+
+TEST(ParallelDeterminism, Conv2dForwardBackwardBitwise) {
+  const auto run = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    Rng rng(23);
+    Conv2d conv(3, 8, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn(Shape{6, 3, 10, 10}, rng);
+    const Tensor y = conv.forward(x, /*train=*/true);
+    Tensor dy = Tensor::randn(y.shape(), rng);
+    const Tensor dx = conv.backward(dy);
+    std::vector<Tensor> out{y, dx};
+    for (Param* p : conv.params()) out.push_back(p->grad);
+    return out;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(serial[i], parallel[i])) << "tensor " << i;
+}
+
+TEST(ParallelDeterminism, FaultInjectionBitwise) {
+  const auto run = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    RcsConfig cfg;
+    cfg.tiles_x = cfg.tiles_y = 2;
+    cfg.xbar_rows = cfg.xbar_cols = 32;
+    Rcs rcs(cfg);
+    Rng rng(7);
+    FaultInjector injector(FaultScenario::paper_default(), rng);
+    injector.inject_pre_deployment(rcs);
+    injector.inject_post_deployment(rcs);
+    injector.inject_post_deployment(rcs);
+    std::vector<std::set<std::pair<std::size_t, std::size_t>>> cells;
+    for (XbarId id = 0; id < rcs.total_crossbars(); ++id) {
+      const auto faulty = rcs.crossbar(id).faulty_cells();
+      cells.emplace_back(faulty.begin(), faulty.end());
+    }
+    return cells;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ParallelDeterminism, BistSurveyBitwise) {
+  const auto run = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    RcsConfig cfg;
+    cfg.tiles_x = cfg.tiles_y = 2;
+    cfg.xbar_rows = cfg.xbar_cols = 32;
+    Rcs rcs(cfg);
+    Rng rng(13);
+    FaultInjector injector(FaultScenario::paper_default(), rng);
+    injector.inject_pre_deployment(rcs);
+    std::uint64_t cycles = 0;
+    const std::vector<double> densities =
+        BistController{}.survey(rcs, &cycles);
+    return std::make_pair(densities, cycles);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// The end-to-end property the layer exists for: a full faulty training run
+// (forward/backward gemms, BIST surveys, fault injection, remapping,
+// evaluation) is bitwise reproducible across thread counts.
+TEST(ParallelDeterminismSlow, TrainerBitwise) {
+  const auto run = [](std::size_t threads) {
+    ThreadGuard guard(threads);
+    TrainerConfig cfg;
+    cfg.model = "vgg11";
+    cfg.epochs = 2;
+    cfg.batch_size = 16;
+    cfg.data.train = 48;
+    cfg.data.test = 32;
+    cfg.data.image_size = 12;
+    cfg.policy = "remap-d";
+    cfg.faults = FaultScenario::paper_default();
+    FaultAwareTrainer trainer(cfg);
+    const TrainResult r = trainer.run();
+    std::vector<std::set<std::pair<std::size_t, std::size_t>>> cells;
+    for (XbarId id = 0; id < trainer.rcs().total_crossbars(); ++id) {
+      const auto faulty = trainer.rcs().crossbar(id).faulty_cells();
+      cells.emplace_back(faulty.begin(), faulty.end());
+    }
+    return std::make_pair(r, cells);
+  };
+  const auto [r1, cells1] = run(1);
+  const auto [r4, cells4] = run(4);
+  ASSERT_EQ(r1.history.size(), r4.history.size());
+  for (std::size_t e = 0; e < r1.history.size(); ++e) {
+    EXPECT_EQ(r1.history[e].train_loss, r4.history[e].train_loss) << e;
+    EXPECT_EQ(r1.history[e].train_accuracy, r4.history[e].train_accuracy) << e;
+    EXPECT_EQ(r1.history[e].test_accuracy, r4.history[e].test_accuracy) << e;
+    EXPECT_EQ(r1.history[e].remaps, r4.history[e].remaps) << e;
+    EXPECT_EQ(r1.history[e].total_faults, r4.history[e].total_faults) << e;
+    EXPECT_EQ(r1.history[e].new_faults, r4.history[e].new_faults) << e;
+  }
+  EXPECT_EQ(r1.final_test_accuracy, r4.final_test_accuracy);
+  EXPECT_EQ(r1.total_remaps, r4.total_remaps);
+  EXPECT_EQ(cells1, cells4);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: gemm must not suppress NaN/Inf from B via the zero-A skip
+// ---------------------------------------------------------------------------
+
+TEST(GemmRegression, NaNInBPropagatesThroughZeroA) {
+  // Row of zeros in A times a column containing NaN: 0 * NaN = NaN, so the
+  // product must be NaN. The old kernel skipped zero A entries and returned
+  // a clean 0 instead.
+  Tensor a = Tensor::zeros(Shape{2, 3});
+  a[0] = 1.0f;  // a(0,0); row 1 stays all-zero
+  Tensor b = Tensor::zeros(Shape{3, 2});
+  b[0] = std::numeric_limits<float>::quiet_NaN();   // b(0,0)
+  b[3] = std::numeric_limits<float>::infinity();    // b(1,1)
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c[0]));  // 1*NaN
+  EXPECT_TRUE(std::isnan(c[1]));  // 1*NaN? no: c(0,1) = 0*Inf = NaN
+  EXPECT_TRUE(std::isnan(c[2]));  // 0*NaN
+  EXPECT_TRUE(std::isnan(c[3]));  // 0*Inf
+}
+
+TEST(GemmRegression, ZeroSkipStillExactWhenBFinite) {
+  // With a finite B panel the sparse-A skip is active; the result must be
+  // identical to the naive triple loop.
+  Rng rng(31);
+  Tensor a = Tensor::randn(Shape{17, 9}, rng);
+  for (std::size_t i = 0; i < a.numel(); i += 3) a[i] = 0.0f;
+  const Tensor b = Tensor::randn(Shape{9, 13}, rng);
+  const Tensor c = matmul(a, b);
+  for (std::size_t i = 0; i < 17; ++i)
+    for (std::size_t j = 0; j < 13; ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < 9; ++k)
+        acc += a[i * 9 + k] * b[k * 13 + j];
+      EXPECT_EQ(c[i * 13 + j], acc) << i << "," << j;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: FaultView::apply must reject out-of-range clamps
+// ---------------------------------------------------------------------------
+
+TEST(FaultViewRegression, OutOfRangeClampThrows) {
+  FaultView view;
+  view.clamps.push_back({2, WeightClampKind::kPosStuck1});
+  view.clamps.push_back({4, WeightClampKind::kPosStuck0});  // out of range
+  const float w[4] = {0.1f, 0.2f, 0.3f, 0.4f};
+  float out[4];
+  EXPECT_THROW(view.apply(w, out, 4), std::out_of_range);
+
+  view.clamps.pop_back();
+  view.apply(w, out, 4);  // in-range clamps still apply cleanly
+  EXPECT_EQ(out[2], view.w_max);
+  EXPECT_EQ(out[0], w[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: BatchNorm window statistics must pool variance exactly
+// ---------------------------------------------------------------------------
+
+TEST(BatchNormRegression, WindowStatsMatchPooledComputation) {
+  // Feed batches whose *means* differ strongly; averaging per-batch
+  // variances would ignore the between-batch variance and over-sharpen the
+  // eval normalization. The window must reproduce the exact statistics of
+  // all samples pooled together.
+  const std::size_t channels = 2;
+  BatchNorm bn(channels);
+  bn.begin_stats_window();
+
+  Rng rng(47);
+  std::vector<Tensor> batches;
+  const float shifts[3] = {-4.0f, 0.0f, 4.0f};
+  for (const float shift : shifts) {
+    Tensor x = Tensor::randn(Shape{8, channels}, rng);
+    for (std::size_t i = 0; i < x.numel(); ++i) x[i] += shift;
+    batches.push_back(x);
+    (void)bn.forward(x, /*train=*/true);
+  }
+
+  // Pooled per-channel mean/var over every sample of every batch.
+  std::vector<double> mean(channels, 0.0), var(channels, 0.0);
+  const std::size_t per_ch = 8 * batches.size();
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    for (const Tensor& x : batches)
+      for (std::size_t nidx = 0; nidx < 8; ++nidx)
+        mean[ch] += x[nidx * channels + ch];
+    mean[ch] /= static_cast<double>(per_ch);
+    for (const Tensor& x : batches)
+      for (std::size_t nidx = 0; nidx < 8; ++nidx) {
+        const double d = x[nidx * channels + ch] - mean[ch];
+        var[ch] += d * d;
+      }
+    var[ch] /= static_cast<double>(per_ch);
+  }
+
+  // gamma starts at 1 and beta at 0, so eval output is plain (x-mean)/std.
+  Tensor probe = Tensor::zeros(Shape{1, channels});
+  for (std::size_t ch = 0; ch < channels; ++ch) probe[ch] = 1.5f;
+  const Tensor y = bn.forward(probe, /*train=*/false);
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    const double expect =
+        (1.5 - mean[ch]) / std::sqrt(var[ch] + 1e-5);
+    EXPECT_NEAR(y[ch], expect, 1e-4) << "channel " << ch;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: MaxPool backward after an eval forward must throw
+// ---------------------------------------------------------------------------
+
+TEST(MaxPoolRegression, BackwardAfterEvalForwardThrows) {
+  Rng rng(5);
+  MaxPool2d pool(2);
+  const Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+
+  Tensor y = pool.forward(x, /*train=*/true);
+  EXPECT_NO_THROW((void)pool.backward(Tensor::zeros(y.shape())));
+
+  // An eval forward invalidates the saved argmax; routing gradients with it
+  // would silently use the *training* batch's indices.
+  (void)pool.forward(x, /*train=*/false);
+  EXPECT_THROW((void)pool.backward(Tensor::zeros(y.shape())),
+               std::logic_error);
+
+  // A fresh train forward re-arms backward.
+  y = pool.forward(x, /*train=*/true);
+  EXPECT_NO_THROW((void)pool.backward(Tensor::zeros(y.shape())));
+}
+
+}  // namespace
+}  // namespace remapd

@@ -246,13 +246,23 @@ TEST(TrainerSlow, RemapDBeatsNoProtection) {
   base.data.image_size = 16;
   base.faults = FaultScenario::paper_default_compressed(base.epochs);
 
-  TrainerConfig none = base;
-  none.policy = "none";
-  TrainerConfig remap = base;
-  remap.policy = "remap-d";
-
-  const double acc_none = train_with_faults(none).final_test_accuracy;
-  const double acc_remap = train_with_faults(remap).final_test_accuracy;
+  // A single fault realization is extremely noisy at this scale: the
+  // unprotected run ranges from total collapse to near-clean accuracy
+  // depending on where the faults land, so compare the mean over a few
+  // seeds. The protection margin is dominated by the collapse cases that
+  // Remap-D prevents (Fig. 6).
+  double acc_none = 0.0, acc_remap = 0.0;
+  const std::uint64_t seeds[] = {42, 43, 44};
+  for (const std::uint64_t seed : seeds) {
+    TrainerConfig none = base;
+    none.policy = "none";
+    none.seed = seed;
+    TrainerConfig remap = base;
+    remap.policy = "remap-d";
+    remap.seed = seed;
+    acc_none += train_with_faults(none).final_test_accuracy;
+    acc_remap += train_with_faults(remap).final_test_accuracy;
+  }
   EXPECT_GT(acc_remap, acc_none);
 }
 
