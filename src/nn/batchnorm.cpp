@@ -26,13 +26,13 @@ BatchNorm::BatchNorm(std::size_t channels, float momentum, float eps,
       beta_(Tensor::zeros(Shape{channels}), tag + ".beta"),
       running_mean_(Tensor::zeros(Shape{channels})),
       running_var_(Tensor::ones(Shape{channels})),
-      window_mean_(Tensor::zeros(Shape{channels})),
-      window_m2_(Tensor::zeros(Shape{channels})),
+      window_mean_(channels, 0.0),
+      window_m2_(channels, 0.0),
       tag_(std::move(tag)) {}
 
 void BatchNorm::begin_stats_window() {
-  window_mean_.fill(0.0f);
-  window_m2_.fill(0.0f);
+  window_mean_.assign(channels_, 0.0);
+  window_m2_.assign(channels_, 0.0);
   window_count_ = 0.0;
 }
 
@@ -77,10 +77,8 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
         const double nw = window_count_;
         const double delta = mean - window_mean_[ch];
         const double n_new = nw + nb;
-        window_mean_[ch] =
-            static_cast<float>(window_mean_[ch] + delta * nb / n_new);
-        window_m2_[ch] = static_cast<float>(
-            window_m2_[ch] + var * nb + delta * delta * nw * nb / n_new);
+        window_mean_[ch] += delta * nb / n_new;
+        window_m2_[ch] += var * nb + delta * delta * nw * nb / n_new;
         // Every channel of a batch merges the same sample count; advance
         // the shared counter once per batch, after the last channel.
         if (ch + 1 == channels_) window_count_ = n_new;

@@ -32,7 +32,10 @@ class BatchNorm final : public Layer {
   float momentum_, eps_;
   Param gamma_, beta_;
   Tensor running_mean_, running_var_;   ///< EMA fallback (empty window)
-  Tensor window_mean_, window_m2_;      ///< Chan-style pooled mean / M2
+  // Window accumulators are statistics, not hot-path tensors: kept in
+  // double so the Chan merge never truncates between batches and the pooled
+  // statistics stay exact over arbitrarily long windows.
+  std::vector<double> window_mean_, window_m2_;  ///< Chan pooled mean / M2
   double window_count_ = 0.0;           ///< samples merged into the window
   std::string tag_;
 

@@ -1,5 +1,6 @@
 #include "tensor/gemm.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -44,13 +45,45 @@ bool panel_all_finite(const float* b, std::size_t k, std::size_t n,
   return true;
 }
 
+// Lazily resolved gate for the zero-A skip. Zero entries of A may only
+// short-circuit the B row when B is known finite: 0 * NaN/Inf must stay NaN
+// (a diverging activation or a full-scale stuck weight must surface, not be
+// masked by sparsity). The O(k*n) panel scan is wasted when A has no zeros
+// — which rivals the multiply itself for skinny GEMMs — so it runs only
+// when a zero entry is first encountered. The verdict is a pure function of
+// B (constant for the call), so concurrent row-blocks may race to compute
+// it; every racer stores the same value and the skip decision is identical
+// at any thread count.
+class ZeroSkipGate {
+ public:
+  ZeroSkipGate(const float* b, std::size_t k, std::size_t n, std::size_t ldb)
+      : b_(b), k_(k), n_(n), ldb_(ldb) {}
+
+  /// True iff the zero-A skip is safe (B panel all finite).
+  bool allowed() {
+    int s = state_.load(std::memory_order_relaxed);
+    if (s == kUnknown) {
+      s = panel_all_finite(b_, k_, n_, ldb_) ? kFinite : kNonFinite;
+      state_.store(s, std::memory_order_relaxed);
+    }
+    return s == kFinite;
+  }
+
+ private:
+  static constexpr int kUnknown = 0, kFinite = 1, kNonFinite = 2;
+  const float* b_;
+  std::size_t k_, n_, ldb_;
+  std::atomic<int> state_{kUnknown};
+};
+
 // Kernel over the row range [r0, r1) of C. Per-row update order (the p then
 // j block walk) is independent of the row partition, so splitting rows
 // across threads leaves every row's FP summation order unchanged.
 void gemm_nn_rows(std::size_t r0, std::size_t r1, std::size_t n,
                   std::size_t k, float alpha, const float* a, std::size_t lda,
                   const float* b, std::size_t ldb, float* c, std::size_t ldc,
-                  bool skip_zero_a) {
+                  ZeroSkipGate& gate) {
+  int skip = 0;  // local cache of the gate verdict; 0 = not yet consulted
   for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
     const std::size_t i1 = std::min(i0 + kBlockM, r1);
     for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
@@ -60,7 +93,10 @@ void gemm_nn_rows(std::size_t r0, std::size_t r1, std::size_t n,
         for (std::size_t i = i0; i < i1; ++i) {
           for (std::size_t p = p0; p < p1; ++p) {
             const float aval = alpha * a[i * lda + p];
-            if (skip_zero_a && aval == 0.0f) continue;
+            if (aval == 0.0f) {
+              if (skip == 0) skip = gate.allowed() ? 1 : 2;
+              if (skip == 1) continue;
+            }
             const float* brow = b + p * ldb;
             float* crow = c + i * ldc;
             for (std::size_t j = j0; j < j1; ++j) crow[j] += aval * brow[j];
@@ -74,16 +110,13 @@ void gemm_nn_rows(std::size_t r0, std::size_t r1, std::size_t n,
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
              const float* a, std::size_t lda, const float* b, std::size_t ldb,
              float* c, std::size_t ldc) {
-  // Zero entries of A may only short-circuit the B row when B is known
-  // finite: 0 * NaN/Inf must stay NaN (a diverging activation or a
-  // full-scale stuck weight must surface, not be masked by sparsity).
-  const bool skip_zero_a = panel_all_finite(b, k, n, ldb);
+  ZeroSkipGate gate(b, k, n, ldb);
   // Row-partitioned: each block owns a disjoint set of C rows, so there is
   // no reduction and per-row arithmetic is bitwise identical at any thread
   // count. Grain = kBlockM keeps the i-blocking aligned with the serial
   // kernel's walk.
   parallel_for(0, m, kBlockM, [&](std::size_t r0, std::size_t r1) {
-    gemm_nn_rows(r0, r1, n, k, alpha, a, lda, b, ldb, c, ldc, skip_zero_a);
+    gemm_nn_rows(r0, r1, n, k, alpha, a, lda, b, ldb, c, ldc, gate);
   });
 }
 

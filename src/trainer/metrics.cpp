@@ -37,6 +37,13 @@ double evaluate_accuracy(Model& model, const Dataset& data,
   // sample parallelism inside forward. Prefer batch-level parallelism only
   // when it can occupy every worker; otherwise run batches serially and
   // let the per-sample loops inside the layers use the pool.
+  //
+  // Memory: each concurrent forward allocates its own intermediate
+  // activations (im2col cols buffers, per-layer outputs, and effective-
+  // weight copies when fault views are set), so peak eval memory scales
+  // with parallel_threads(). Fine for the current model zoo; if larger
+  // models land, cap the concurrent batches or add per-worker scratch
+  // reuse here.
   std::vector<std::size_t> correct(nbatches, 0);
   if (nbatches >= parallel_threads()) {
     parallel_for(0, nbatches, 1, [&](std::size_t b0, std::size_t b1) {

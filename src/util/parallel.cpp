@@ -28,10 +28,12 @@ std::size_t resolve_env_threads() {
 }
 
 /// Persistent pool. One job runs at a time (job_mu_); blocks are claimed
-/// with a monotone fetch-add so a worker that wakes late for an old job
-/// either claims a valid block of the current job or sees an exhausted
-/// cursor and goes back to sleep — either way every block of every job runs
-/// exactly once.
+/// with a monotone fetch-add. Publishing a new job waits for active_ == 0
+/// under mu_, so no worker can be mid-drain() while fn_/nblocks_/next_ are
+/// reset: a stale claim against an exhausted cursor can otherwise race the
+/// reset and pass the nblocks_ check of a *larger* new job, executing a
+/// block the fresh cursor hands out again (double execution, done_
+/// overshoot, caller hang).
 class Pool {
  public:
   explicit Pool(std::size_t threads) : threads_(threads) {
@@ -55,7 +57,13 @@ class Pool {
            const std::function<void(std::size_t)>& block_fn) {
     std::lock_guard<std::mutex> job_lock(job_mu_);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::unique_lock<std::mutex> lk(mu_);
+      // A worker notified for a previous epoch may still be inside drain()
+      // (its final, exhausted cursor claim races this reset). Wait for it
+      // to leave before mutating the job state; active_ only changes under
+      // mu_, so once it reads 0 here no worker can re-enter drain() until
+      // the new epoch is published below.
+      done_cv_.wait(lk, [&] { return active_ == 0; });
       fn_.store(&block_fn);
       nblocks_.store(nblocks);
       done_ = 0;
@@ -94,7 +102,9 @@ class Pool {
       {
         std::lock_guard<std::mutex> lk(mu_);
         --active_;
-        if (done_ == nblocks_.load() && active_ == 0) done_cv_.notify_all();
+        // Wakes both the completion wait (done_ == nblocks_ && active_ == 0)
+        // and the pre-publish wait (active_ == 0) in run().
+        if (active_ == 0) done_cv_.notify_all();
       }
     }
   }

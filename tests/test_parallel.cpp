@@ -133,6 +133,29 @@ TEST(Parallel, ExceptionPropagatesAndPoolSurvives) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(Parallel, BackToBackGrowingJobsRunBlocksExactlyOnce) {
+  // Regression: a worker that woke late for an already-finished job could
+  // race the next job's cursor reset — its stale exhausted claim passed the
+  // block-count check of a *larger* new job, running one block twice (and
+  // leaving the caller waiting on an overshot done count). Alternate tiny
+  // and large jobs back-to-back so stale wakeups from the tiny job overlap
+  // the large job's publish.
+  ThreadGuard guard(4);
+  for (int round = 0; round < 200; ++round) {
+    for (const std::size_t nblocks : {std::size_t{1}, std::size_t{64}}) {
+      std::vector<std::atomic<int>> visits(nblocks);
+      parallel_for_blocks(0, nblocks, 1,
+                          [&](std::size_t, std::size_t, std::size_t blk) {
+                            visits[blk].fetch_add(1,
+                                                  std::memory_order_relaxed);
+                          });
+      for (std::size_t i = 0; i < nblocks; ++i)
+        ASSERT_EQ(visits[i].load(), 1)
+            << "round=" << round << " nblocks=" << nblocks << " blk=" << i;
+    }
+  }
+}
+
 TEST(Parallel, ReconfigureThreadCount) {
   ThreadGuard guard(4);
   EXPECT_EQ(parallel_threads(), 4u);
