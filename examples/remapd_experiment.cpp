@@ -18,6 +18,11 @@
 //   --phase NAME        all|forward|backward (Fig. 5-style targeting)
 //   --mapping NAME      single|differential
 //   --csv PATH          append per-epoch records to a CSV file
+//   --checkpoint PATH   save a checkpoint here (default: every epoch)
+//   --checkpoint-every N  save every N epochs instead
+//   --stop-after N      stop cleanly after N epochs (for interrupt tests)
+//   --resume PATH       restore a checkpoint and continue the run; the
+//                       other flags must match the interrupted leg exactly
 
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +98,15 @@ int main(int argc, char** argv) {
       else usage("unknown mapping");
     } else if (flag == "--csv") {
       csv_path = next();
+    } else if (flag == "--checkpoint") {
+      cfg.checkpoint_path = next();
+      if (cfg.checkpoint_every == 0) cfg.checkpoint_every = 1;
+    } else if (flag == "--checkpoint-every") {
+      cfg.checkpoint_every = static_cast<std::size_t>(std::atoi(next()));
+    } else if (flag == "--stop-after") {
+      cfg.stop_after_epochs = static_cast<std::size_t>(std::atoi(next()));
+    } else if (flag == "--resume") {
+      cfg.resume_from = next();
     } else {
       usage(("unknown flag " + flag).c_str());
     }

@@ -1,0 +1,117 @@
+// Versioned, checksummed container format for training checkpoints.
+//
+// File layout (all integers little-endian):
+//
+//   offset 0   magic            8 bytes  "RMDCKPT1"
+//              format_version   u32      kFormatVersion
+//              section_count    u32
+//              file_size        u64      total bytes (truncation check)
+//              table_crc        u32      CRC-32 of the section table bytes
+//              section table    section_count entries:
+//                                 name   (u64 length + bytes)
+//                                 offset u64   (from start of file)
+//                                 size   u64
+//                                 crc    u32   (CRC-32 of the payload)
+//              payloads         concatenated section byte blobs
+//
+// Every read path validates magic, version, declared file size, the table
+// CRC and *every* section CRC before any section is handed out, so a
+// truncated file or a single flipped byte is rejected up front with a
+// CheckpointError — a corrupt checkpoint can never produce a silent
+// partial load.
+//
+// Writes are atomic: the image is assembled in memory, written to
+// `<path>.tmp`, flushed, and renamed over `<path>`. A crash mid-write
+// leaves the previous checkpoint intact.
+//
+// Section payloads are produced by the components themselves through the
+// Snapshotable hook (ckpt/snapshot.hpp); this container neither knows nor
+// cares what a section means. The trainer's section inventory is
+// documented in trainer/trainer_ckpt.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+
+namespace remapd {
+namespace ckpt {
+
+inline constexpr char kMagic[8] = {'R', 'M', 'D', 'C', 'K', 'P', 'T', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+struct SectionInfo {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+class CheckpointWriter {
+ public:
+  /// Open a new named section and return its writer. Section names must be
+  /// unique per checkpoint; re-opening one throws.
+  ByteWriter& section(const std::string& name);
+
+  /// Assemble the full file image (header + table + payloads).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Atomically write serialize() to `path` via `<path>.tmp` + rename.
+  /// Throws CheckpointError on any I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, ByteWriter>> sections_;
+};
+
+class CheckpointReader {
+ public:
+  /// Load `path` and validate magic, version, size, and every CRC.
+  explicit CheckpointReader(const std::string& path);
+
+  /// Parse an in-memory image (tests / pipes). Same validation.
+  static CheckpointReader from_bytes(std::string bytes);
+
+  [[nodiscard]] const std::vector<SectionInfo>& sections() const {
+    return toc_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Reader over a section's payload; throws if the section is absent.
+  [[nodiscard]] ByteReader open(const std::string& name) const;
+
+ private:
+  CheckpointReader() = default;
+  void parse_and_validate();
+
+  std::string bytes_;
+  std::vector<SectionInfo> toc_;
+};
+
+/// Checkpoint identity card: the always-first "meta" section, readable by
+/// the `remapd_ckpt` inspector without any trainer knowledge.
+struct RunMeta {
+  std::string model;
+  std::string policy;
+  std::string dataset;
+  std::uint64_t seed = 0;
+  std::uint64_t epochs_total = 0;      ///< configured training horizon
+  std::uint64_t epochs_completed = 0;  ///< epochs finished at save time
+  std::uint64_t crossbars = 0;
+  std::uint64_t tasks = 0;
+
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
+};
+
+/// Ordered (name, value) string pairs — the trainer's config fingerprint
+/// section uses these so a resume can report exactly which field diverged.
+void save_string_pairs(
+    ByteWriter& w,
+    const std::vector<std::pair<std::string, std::string>>& pairs);
+std::vector<std::pair<std::string, std::string>> load_string_pairs(
+    ByteReader& r);
+
+}  // namespace ckpt
+}  // namespace remapd

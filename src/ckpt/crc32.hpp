@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) used to
+// checksum every checkpoint section. Table-driven, one pass per section —
+// checkpoints are written once per epoch, so integrity wins over speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace remapd {
+namespace ckpt {
+
+/// CRC-32 of `n` bytes starting at `p`. `seed` allows incremental updates:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+std::uint32_t crc32(const void* p, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace ckpt
+}  // namespace remapd

@@ -1,0 +1,146 @@
+#include "ckpt/snapshot.hpp"
+
+#include <cstring>
+
+namespace remapd {
+namespace ckpt {
+
+namespace {
+
+constexpr std::uint64_t kMaxVecLen = 1ULL << 32;  // 4 Gi elements: sanity cap
+
+template <typename T>
+void append_le(std::string& buf, T v) {
+  char tmp[sizeof(T)];
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(tmp, &v, sizeof(T));
+  } else {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  buf.append(tmp, sizeof(T));
+}
+
+template <typename T>
+T read_le(const char* p) {
+  T v{};
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(&v, p, sizeof(T));
+  } else {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) { append_le(buf_, v); }
+void ByteWriter::u64(std::uint64_t v) { append_le(buf_, v); }
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.append(s);
+}
+
+void ByteWriter::vec_u8(const std::vector<std::uint8_t>& v) {
+  u64(v.size());
+  buf_.append(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+void ByteWriter::vec_u64(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+}
+
+void ByteWriter::vec_f32(const std::vector<float>& v) {
+  u64(v.size());
+  f32_array(v.data(), v.size());
+}
+
+void ByteWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void ByteWriter::f32_array(const float* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) f32(p[i]);
+}
+
+const char* ByteReader::take(std::size_t n) {
+  if (n > size_ - pos_)
+    throw CheckpointError("read of " + std::to_string(n) +
+                          " bytes past end of section (" +
+                          std::to_string(size_ - pos_) + " left)");
+  const char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() {
+  return static_cast<std::uint8_t>(*take(1));
+}
+
+std::uint32_t ByteReader::u32() { return read_le<std::uint32_t>(take(4)); }
+std::uint64_t ByteReader::u64() { return read_le<std::uint64_t>(take(8)); }
+
+bool ByteReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw CheckpointError("boolean field holds " + std::to_string(v));
+  return v != 0;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > size_ - pos_) throw CheckpointError("string length overruns section");
+  return std::string(take(static_cast<std::size_t>(n)), n);
+}
+
+std::vector<std::uint8_t> ByteReader::vec_u8() {
+  const std::uint64_t n = u64();
+  if (n > kMaxVecLen || n > size_ - pos_)
+    throw CheckpointError("byte-vector length overruns section");
+  const char* p = take(static_cast<std::size_t>(n));
+  return {reinterpret_cast<const std::uint8_t*>(p),
+          reinterpret_cast<const std::uint8_t*>(p) + n};
+}
+
+std::vector<std::uint64_t> ByteReader::vec_u64() {
+  const std::uint64_t n = u64();
+  if (n > kMaxVecLen || n * 8 > size_ - pos_)
+    throw CheckpointError("u64-vector length overruns section");
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = u64();
+  return v;
+}
+
+std::vector<float> ByteReader::vec_f32() {
+  const std::uint64_t n = u64();
+  if (n > kMaxVecLen || n * 4 > size_ - pos_)
+    throw CheckpointError("f32-vector length overruns section");
+  std::vector<float> v(static_cast<std::size_t>(n));
+  f32_array(v.data(), v.size());
+  return v;
+}
+
+std::vector<double> ByteReader::vec_f64() {
+  const std::uint64_t n = u64();
+  if (n > kMaxVecLen || n * 8 > size_ - pos_)
+    throw CheckpointError("f64-vector length overruns section");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = f64();
+  return v;
+}
+
+void ByteReader::f32_array(float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f32();
+}
+
+void ByteReader::expect_end() const {
+  if (pos_ != size_)
+    throw CheckpointError(std::to_string(size_ - pos_) +
+                          " unread bytes at end of section");
+}
+
+}  // namespace ckpt
+}  // namespace remapd

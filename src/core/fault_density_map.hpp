@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
+
 namespace remapd {
 
 /// Accuracy of a BIST density survey against ground truth (§III.B.3): how
@@ -16,7 +18,7 @@ struct DensityErrorStats {
   double mean_signed = 0.0;  ///< bias: mean (estimate - truth)
 };
 
-class FaultDensityMap {
+class FaultDensityMap : public ckpt::Snapshotable {
  public:
   FaultDensityMap() = default;
   explicit FaultDensityMap(std::size_t num_crossbars)
@@ -48,6 +50,16 @@ class FaultDensityMap {
       const std::vector<double>& truth) const;
   /// Number of surveys applied so far.
   [[nodiscard]] std::size_t surveys() const { return surveys_; }
+
+  // Snapshotable: the current density estimates plus the survey counter.
+  void save_state(ckpt::ByteWriter& w) const override {
+    w.vec_f64(density_);
+    w.u64(surveys_);
+  }
+  void load_state(ckpt::ByteReader& r) override {
+    density_ = r.vec_f64();
+    surveys_ = static_cast<std::size_t>(r.u64());
+  }
 
  private:
   std::vector<double> density_;

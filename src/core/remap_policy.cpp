@@ -16,7 +16,7 @@ PolicyPtr make_policy(const std::string& name) {
   if (name == "remap-t-10") return std::make_unique<RemapTopN>(0.10);
   if (name == "an-code")
     return std::make_unique<AnCodePolicy>(
-        env_double("REMAPD_ANCODE_CAP", 0.001));
+        env_double_nonneg("REMAPD_ANCODE_CAP", 0.001));
   if (name == "none") return std::make_unique<NoProtection>();
   throw std::invalid_argument("make_policy: unknown policy " + name);
 }

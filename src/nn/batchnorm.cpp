@@ -142,4 +142,27 @@ Tensor BatchNorm::backward(const Tensor& dy) {
   return dx;
 }
 
+void BatchNorm::save_state(ckpt::ByteWriter& w) const {
+  save_tensor(w, running_mean_);
+  save_tensor(w, running_var_);
+  w.vec_f64(window_mean_);
+  w.vec_f64(window_m2_);
+  w.f64(window_count_);
+}
+
+void BatchNorm::load_state(ckpt::ByteReader& r) {
+  load_tensor_into(r, running_mean_);
+  load_tensor_into(r, running_var_);
+  auto mean = r.vec_f64();
+  auto m2 = r.vec_f64();
+  if (mean.size() != channels_ || m2.size() != channels_)
+    throw ckpt::CheckpointError(
+        tag_ + ": window accumulator length mismatch: stored " +
+        std::to_string(mean.size()) + ", expected " +
+        std::to_string(channels_));
+  window_mean_ = std::move(mean);
+  window_m2_ = std::move(m2);
+  window_count_ = r.f64();
+}
+
 }  // namespace remapd

@@ -7,7 +7,7 @@
 
 namespace remapd {
 
-class BatchNorm final : public Layer {
+class BatchNorm final : public Layer, public ckpt::Snapshotable {
  public:
   explicit BatchNorm(std::size_t channels, float momentum = 0.1f,
                      float eps = 1e-5f, std::string tag = "bn");
@@ -26,6 +26,12 @@ class BatchNorm final : public Layer {
   /// when faulted weights shift activations over training — stale EMA
   /// statistics would misnormalize).
   void begin_stats_window();
+
+  // Snapshotable: EMA running statistics plus the double-precision Chan
+  // window accumulators (gamma/beta are ordinary params and are saved with
+  // the model weights, not here).
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
 
  private:
   std::size_t channels_;

@@ -15,7 +15,7 @@ void apply_gradient_pinning(const std::optional<FaultView>& view,
   // Severity of a stuck backward-array cell relative to the healthy
   // gradient scale (REMAPD_GRAD_PIN overrides for ablations).
   static const float kappa =
-      static_cast<float>(env_double("REMAPD_GRAD_PIN", 12.0));
+      static_cast<float>(env_double_nonneg("REMAPD_GRAD_PIN", 12.0));
 
   // The reference scale is the RMS of the *healthy* gradient components.
   // Clamped positions are excluded: their pre-pinning gradients are the

@@ -42,4 +42,18 @@ void Sgd::zero_grad() {
   for (Param* p : params_) p->zero_grad();
 }
 
+void Sgd::save_state(ckpt::ByteWriter& w) const {
+  w.u64(velocity_.size());
+  for (const Tensor& v : velocity_) save_tensor(w, v);
+}
+
+void Sgd::load_state(ckpt::ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  if (count != velocity_.size())
+    throw ckpt::CheckpointError(
+        "SGD velocity count mismatch: stored " + std::to_string(count) +
+        ", optimizer has " + std::to_string(velocity_.size()));
+  for (Tensor& v : velocity_) load_tensor_into(r, v);
+}
+
 }  // namespace remapd

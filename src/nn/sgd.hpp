@@ -8,7 +8,7 @@
 
 namespace remapd {
 
-class Sgd {
+class Sgd : public ckpt::Snapshotable {
  public:
   struct Config {
     float lr = 0.05f;
@@ -25,6 +25,11 @@ class Sgd {
   void zero_grad();
   [[nodiscard]] const Config& config() const { return cfg_; }
   void set_lr(float lr) { cfg_.lr = lr; }
+
+  // Snapshotable: the momentum buffers, shape-checked against the
+  // registered parameters on load.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
 
  private:
   std::vector<Param*> params_;

@@ -274,9 +274,12 @@ std::string Observatory::summary(std::size_t top_k) const {
 }
 
 bool Observatory::write_reports(const std::string& path) {
-  const bool ok = telemetry::write_file(path, jsonl());
+  // On a resumed run the interrupted leg already wrote its epochs; append
+  // this leg's stream rather than truncating them away.
+  const bool append = telemetry::resume_append();
+  const bool ok = telemetry::write_file(path, jsonl(), append);
   const std::string summary_path = path == "-" ? "-" : path + ".summary.txt";
-  telemetry::write_file(summary_path, summary());
+  telemetry::write_file(summary_path, summary(), append);
   return ok;
 }
 

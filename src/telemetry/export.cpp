@@ -1,6 +1,7 @@
 #include "telemetry/export.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -214,12 +215,14 @@ std::string summary_table() {
   return os.str();
 }
 
-bool write_file(const std::string& path, const std::string& contents) {
+bool write_file(const std::string& path, const std::string& contents,
+                bool append) {
   if (path == "-") {
     std::fwrite(contents.data(), 1, contents.size(), stdout);
     return true;
   }
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  std::ofstream f(path,
+                  std::ios::binary | (append ? std::ios::app : std::ios::trunc));
   if (!f) {
     log_warn("telemetry: cannot open ", path, " for writing");
     return false;
@@ -228,14 +231,49 @@ bool write_file(const std::string& path, const std::string& contents) {
   return static_cast<bool>(f);
 }
 
-bool write_chrome_trace(const std::string& path) {
-  return write_file(path, chrome_trace_json());
+bool write_file(const std::string& path, const std::string& contents) {
+  return write_file(path, contents, false);
 }
 
-bool write_jsonl(const std::string& path) { return write_file(path, jsonl()); }
+namespace {
+std::atomic<bool> g_resume_append{false};
+}  // namespace
+
+void set_resume_append(bool on) {
+  g_resume_append.store(on, std::memory_order_relaxed);
+}
+
+bool resume_append() {
+  return g_resume_append.load(std::memory_order_relaxed);
+}
+
+std::string versioned_resume_path(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    dot = path.size();
+  for (unsigned n = 1;; ++n) {
+    std::string candidate = path.substr(0, dot) + ".resume" +
+                            std::to_string(n) + path.substr(dot);
+    if (!std::ifstream(candidate).good()) return candidate;
+  }
+}
+
+bool write_chrome_trace(const std::string& path) {
+  // A Chrome trace is one JSON array; a resumed run cannot append to the
+  // interrupted leg's array, so it versions the path instead.
+  const std::string target =
+      resume_append() && path != "-" ? versioned_resume_path(path) : path;
+  return write_file(target, chrome_trace_json());
+}
+
+bool write_jsonl(const std::string& path) {
+  return write_file(path, jsonl(), resume_append());
+}
 
 bool write_summary(const std::string& path) {
-  return write_file(path, summary_table());
+  return write_file(path, summary_table(), resume_append());
 }
 
 void flush_to_env_paths() {

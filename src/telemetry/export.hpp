@@ -28,6 +28,10 @@ namespace telemetry {
 
 /// Write `contents` to `path` ("-" for stdout). Returns success.
 bool write_file(const std::string& path, const std::string& contents);
+/// Same, but with append=true adds to an existing file instead of
+/// replacing it (resumed runs; "-" still streams to stdout).
+bool write_file(const std::string& path, const std::string& contents,
+                bool append);
 bool write_chrome_trace(const std::string& path);
 bool write_jsonl(const std::string& path);
 bool write_summary(const std::string& path);
@@ -47,6 +51,17 @@ void init_from_env();
 
 /// Write the env-configured outputs now (also what the exit hooks run).
 void flush_to_env_paths();
+
+/// Resumed-run mode, set when a training run restores a checkpoint: the
+/// exit-time flush appends line-oriented outputs (JSONL, summaries, the
+/// obs health stream) to whatever the interrupted leg already wrote, and
+/// writes the Chrome trace — a JSON array that cannot be appended to — to
+/// a fresh versioned sibling path instead of truncating the original.
+void set_resume_append(bool on);
+[[nodiscard]] bool resume_append();
+/// First "<stem>.resumeN<ext>" sibling of `path` (N >= 1) that does not
+/// exist yet.
+[[nodiscard]] std::string versioned_resume_path(const std::string& path);
 
 /// Clear the trace buffer and zero every registry instrument (tests).
 void reset_all();

@@ -127,4 +127,38 @@ float max_abs_diff(const Tensor& a, const Tensor& b) {
   return m;
 }
 
+void save_tensor(ckpt::ByteWriter& w, const Tensor& t) {
+  w.u64(t.shape().rank());
+  for (std::size_t d = 0; d < t.shape().rank(); ++d) w.u64(t.shape()[d]);
+  w.f32_array(t.data(), t.numel());
+}
+
+namespace {
+
+Shape read_shape(ckpt::ByteReader& r) {
+  const std::uint64_t rank = r.u64();
+  if (rank > 4)
+    throw ckpt::CheckpointError("tensor rank " + std::to_string(rank) +
+                                " out of range");
+  std::vector<std::size_t> dims(static_cast<std::size_t>(rank));
+  for (auto& d : dims) d = static_cast<std::size_t>(r.u64());
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+Tensor load_tensor(ckpt::ByteReader& r) {
+  Tensor t(read_shape(r));
+  r.f32_array(t.data(), t.numel());
+  return t;
+}
+
+void load_tensor_into(ckpt::ByteReader& r, Tensor& t) {
+  const Shape s = read_shape(r);
+  if (!(s == t.shape()))
+    throw ckpt::CheckpointError("tensor shape mismatch: stored " + s.str() +
+                                ", expected " + t.shape().str());
+  r.f32_array(t.data(), t.numel());
+}
+
 }  // namespace remapd

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace remapd {
@@ -85,5 +86,13 @@ class Tensor {
 
 /// Max |a[i] - b[i]|; shapes must match.
 float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Checkpoint helpers: shape (rank + dims) followed by the raw IEEE-754
+/// float payload. load_tensor_into restores into an existing tensor and
+/// throws ckpt::CheckpointError when the stored shape does not match —
+/// the checkpoint layer's guard against loading a foreign blob.
+void save_tensor(ckpt::ByteWriter& w, const Tensor& t);
+Tensor load_tensor(ckpt::ByteReader& r);
+void load_tensor_into(ckpt::ByteReader& r, Tensor& t);
 
 }  // namespace remapd

@@ -15,7 +15,7 @@ namespace {
 /// Conductance full-scale as a multiple of the layer weight RMS
 /// (REMAPD_WMAX_RMS overrides for ablation studies).
 const float kFullScaleRms = static_cast<float>(
-    env_double("REMAPD_WMAX_RMS", 4.0));
+    env_double_nonneg("REMAPD_WMAX_RMS", 4.0));
 
 }  // namespace
 
@@ -63,6 +63,10 @@ FaultAwareTrainer::FaultAwareTrainer(TrainerConfig cfg)
     initial_weights_.push_back(l->weight_param().value);
     grad_importance_.push_back(Tensor::zeros(l->weight_param().value.shape()));
   }
+
+  sgd_ = std::make_unique<Sgd>(model_.params(), cfg_.sgd);
+
+  if (!cfg_.resume_from.empty()) restore_from(cfg_.resume_from);
 }
 
 void FaultAwareTrainer::inject_pre_deployment() {
@@ -137,19 +141,18 @@ void FaultAwareTrainer::refresh_fault_views() {
 }
 
 TrainResult FaultAwareTrainer::run() {
-  TrainResult result;
-  result.model = model_.name;
-  result.policy = policy_->name();
-  result.dataset = synth_name(cfg_.data.kind);
-  result.policy_area_overhead_percent = policy_->area_overhead_percent();
+  result_.model = model_.name;
+  result_.policy = policy_->name();
+  result_.dataset = synth_name(cfg_.data.kind);
+  result_.policy_area_overhead_percent = policy_->area_overhead_percent();
 
   obs::Observatory* ob =
       obs::enabled() ? &obs::Observatory::instance() : nullptr;
   if (ob) {
     obs::RunInfo info;
-    info.model = result.model;
-    info.policy = result.policy;
-    info.dataset = result.dataset;
+    info.model = result_.model;
+    info.policy = result_.policy;
+    info.dataset = result_.dataset;
     info.seed = cfg_.seed;
     info.epochs = cfg_.epochs;
     info.crossbars = rcs_->total_crossbars();
@@ -160,31 +163,36 @@ TrainResult FaultAwareTrainer::run() {
     ob->begin_run(info);
   }
 
-  inject_pre_deployment();
-  {
-    REMAPD_TRACE_SPAN("bist-survey", "trainer");
-    survey();
+  if (!resumed_) {
+    inject_pre_deployment();
+    {
+      REMAPD_TRACE_SPAN("bist-survey", "trainer");
+      survey();
+    }
+    {
+      REMAPD_TRACE_SPAN("remap", "trainer");
+      PolicyContext ctx = make_context(0);
+      // The placement round precedes deployment: its swaps are audited with
+      // round="start" (excluded from epoch swap counts) and generate no NoC
+      // weight-exchange traffic — the arrays are written fresh afterwards.
+      ctx.at_training_start = true;
+      policy_->on_training_start(ctx);
+      result_.total_remaps += policy_->last_events().size();
+    }
   }
   {
-    REMAPD_TRACE_SPAN("remap", "trainer");
-    PolicyContext ctx = make_context(0);
-    // The placement round precedes deployment: its swaps are audited with
-    // round="start" (excluded from epoch swap counts) and generate no NoC
-    // weight-exchange traffic — the arrays are written fresh afterwards.
-    ctx.at_training_start = true;
-    policy_->on_training_start(ctx);
-    result.total_remaps += policy_->last_events().size();
-  }
-  {
+    // On resume this rebuilds the views from the restored fault state,
+    // task map, and grad-importance accumulators — exactly the views the
+    // interrupted run trained its next epoch with.
     REMAPD_TRACE_SPAN("view-refresh", "trainer");
     refresh_fault_views();
   }
 
-  Sgd sgd(model_.params(), cfg_.sgd);
+  Sgd& sgd = *sgd_;
   Batcher batcher(data_.train, cfg_.batch_size, rng_);
 
   const float base_lr = cfg_.sgd.lr;
-  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  for (std::size_t epoch = start_epoch_; epoch < cfg_.epochs; ++epoch) {
     telemetry::TraceSpan epoch_span(
         "epoch", "trainer",
         telemetry::enabled() ? "{\"epoch\":" + std::to_string(epoch) + "}"
@@ -269,7 +277,7 @@ TrainResult FaultAwareTrainer::run() {
       policy_->on_epoch_end(ctx);
     }
     const std::size_t remaps = policy_->last_events().size();
-    result.total_remaps += remaps;
+    result_.total_remaps += remaps;
     {
       REMAPD_TRACE_SPAN("view-refresh", "trainer");
       refresh_fault_views();
@@ -293,7 +301,7 @@ TrainResult FaultAwareTrainer::run() {
       faults += rcs_->crossbar(x).fault_count();
     rec.total_faults = faults;
     rec.new_faults = new_faults;
-    result.history.push_back(rec);
+    result_.history.push_back(rec);
 
     if (ob) {
       // Replay this round's protocol traffic (Fig. 3) from the audit
@@ -329,11 +337,27 @@ TrainResult FaultAwareTrainer::run() {
                " loss=", rec.train_loss, " train_acc=", rec.train_accuracy,
                " test_acc=", rec.test_accuracy, " remaps=", remaps,
                " faults=", faults);
+
+    // --- checkpoint / early stop ---
+    const std::size_t done = epoch + 1;
+    const bool stopping =
+        cfg_.stop_after_epochs > 0 && done >= cfg_.stop_after_epochs &&
+        done < cfg_.epochs;
+    if (!cfg_.checkpoint_path.empty() &&
+        ((cfg_.checkpoint_every > 0 && done % cfg_.checkpoint_every == 0) ||
+         stopping)) {
+      REMAPD_TRACE_SPAN("checkpoint", "trainer");
+      save_checkpoint(cfg_.checkpoint_path);
+      if (cfg_.verbose)
+        log_info("checkpoint saved to ", cfg_.checkpoint_path, " after epoch ",
+                 epoch);
+    }
+    if (stopping) break;
   }
 
-  result.final_test_accuracy =
-      result.history.empty() ? 0.0 : result.history.back().test_accuracy;
-  return result;
+  result_.final_test_accuracy =
+      result_.history.empty() ? 0.0 : result_.history.back().test_accuracy;
+  return result_;
 }
 
 TrainResult train_with_faults(const TrainerConfig& cfg) {
@@ -362,12 +386,9 @@ TrainerConfig recommended_config(const std::string& model) {
 }
 
 void apply_env_overrides(TrainerConfig& cfg) {
-  cfg.epochs = static_cast<std::size_t>(
-      env_int("REMAPD_EPOCHS", static_cast<int>(cfg.epochs)));
-  cfg.data.train = static_cast<std::size_t>(
-      env_int("REMAPD_TRAIN", static_cast<int>(cfg.data.train)));
-  cfg.data.test = static_cast<std::size_t>(
-      env_int("REMAPD_TEST", static_cast<int>(cfg.data.test)));
+  cfg.epochs = env_size("REMAPD_EPOCHS", cfg.epochs);
+  cfg.data.train = env_size("REMAPD_TRAIN", cfg.data.train);
+  cfg.data.test = env_size("REMAPD_TEST", cfg.data.test);
 }
 
 }  // namespace remapd

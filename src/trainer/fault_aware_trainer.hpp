@@ -50,14 +50,40 @@ struct TrainerConfig {
   std::uint64_t seed = 42;
   bool use_bist_estimates = true;  ///< false: policies see ground truth
   bool verbose = false;
+
+  // --- checkpoint / resume ---
+  /// Save a checkpoint to `checkpoint_path` every N completed epochs
+  /// (0 = never). A save also happens when `stop_after_epochs` truncates
+  /// the run, so an interrupted run always leaves a resumable file.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Restore full training state from this checkpoint before running.
+  /// The stored config fingerprint must match this config exactly.
+  std::string resume_from;
+  /// Stop (cleanly) after this many total epochs even though `epochs` is
+  /// larger (0 = run to completion). This models an interruption without
+  /// touching `epochs`, which the lr schedule and the compressed fault
+  /// scenario are derived from.
+  std::size_t stop_after_epochs = 0;
 };
 
 class FaultAwareTrainer {
  public:
   explicit FaultAwareTrainer(TrainerConfig cfg);
 
-  /// Run the full training; returns the per-epoch record.
+  /// Run the full training; returns the per-epoch record. After a
+  /// restore_from (or cfg.resume_from), continues from the checkpointed
+  /// epoch and the returned history includes the restored epochs.
   TrainResult run();
+
+  /// Write the complete training state to `path` (atomic; see
+  /// ckpt/checkpoint.hpp). Section inventory in trainer/trainer_ckpt.cpp.
+  void save_checkpoint(const std::string& path);
+  /// Restore state saved by save_checkpoint. Throws ckpt::CheckpointError
+  /// if the file is corrupt or its config fingerprint does not match this
+  /// trainer's config. A subsequent run() continues bitwise-identically to
+  /// the uninterrupted run.
+  void restore_from(const std::string& path);
 
   // Introspection for tests / examples (valid after construction).
   [[nodiscard]] const Rcs& rcs() const { return *rcs_; }
@@ -72,6 +98,10 @@ class FaultAwareTrainer {
   /// Rebuild + install fault views on every faultable layer.
   void refresh_fault_views();
   PolicyContext make_context(std::size_t epoch);
+  /// Ordered (field, value) pairs of every config field that shapes the
+  /// training trajectory — stored in the checkpoint and compared on resume.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  config_fingerprint() const;
 
   TrainerConfig cfg_;
   Rng rng_;
@@ -85,10 +115,17 @@ class FaultAwareTrainer {
   PolicyPtr policy_;
   FaultDensityMap density_;
   BistController bist_;
+  std::unique_ptr<Sgd> sgd_;
 
   // Baseline-policy inputs.
   std::vector<Tensor> initial_weights_;
   std::vector<Tensor> grad_importance_;
+
+  // Resume state: run() starts at start_epoch_ with result_ pre-seeded
+  // from the checkpointed history.
+  TrainResult result_;
+  std::size_t start_epoch_ = 0;
+  bool resumed_ = false;
 };
 
 /// Convenience wrapper: construct + run.

@@ -20,17 +20,33 @@
 //                   JSONL stream to this path (and a human-readable
 //                   summary to <path>.summary.txt) at exit — see src/obs/
 //                   and tools/remapd_report.cpp
+//
+// Parsing is strict: a REMAPD_* variable that is set but malformed (empty,
+// trailing garbage, out of range) throws std::runtime_error naming the
+// variable and the offending value — a typo'd override must never be
+// silently ignored, truncated, or fall back to the default.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace remapd {
 
-/// Integer env var with default; malformed values fall back to `def`.
+/// Integer env var with default. Throws std::runtime_error when the
+/// variable is set but not a valid integer.
 int env_int(const std::string& name, int def);
 
-/// Double env var with default.
+/// Non-negative integer env var with default. Throws std::runtime_error on
+/// malformed input or a negative value.
+std::size_t env_size(const std::string& name, std::size_t def);
+
+/// Double env var with default. Throws std::runtime_error when the
+/// variable is set but not a valid number.
 double env_double(const std::string& name, double def);
+
+/// Non-negative double env var with default. Throws std::runtime_error on
+/// malformed input or a negative value.
+double env_double_nonneg(const std::string& name, double def);
 
 /// String env var with default.
 std::string env_str(const std::string& name, const std::string& def);

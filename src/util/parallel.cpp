@@ -17,14 +17,15 @@ namespace {
 thread_local bool tl_in_parallel = false;
 
 std::size_t resolve_env_threads() {
-  // Unset (or negative) -> one worker per hardware thread; an explicit
-  // 0 or 1 -> serial fast path.
-  const int v = env_int("REMAPD_THREADS", -1);
-  if (v < 0) {
+  // Unset -> one worker per hardware thread; an explicit 0 or 1 -> serial
+  // fast path. Malformed or negative values throw (util/env.hpp).
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  const std::size_t v = env_size("REMAPD_THREADS", kUnset);
+  if (v == kUnset) {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
   }
-  return v <= 1 ? 1 : static_cast<std::size_t>(v);
+  return v <= 1 ? 1 : v;
 }
 
 /// Persistent pool. One job runs at a time (job_mu_); blocks are claimed

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -9,7 +10,11 @@ namespace remapd {
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
-  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  if (k > n)
+    throw std::invalid_argument(
+        "sample_without_replacement: k (" + std::to_string(k) + ") > n (" +
+        std::to_string(n) + ")");
+  if (k == 0) return {};
   // For small k relative to n, rejection sampling is cheaper than a full
   // permutation; otherwise shuffle a dense index array and truncate.
   if (k * 3 < n) {
@@ -34,6 +39,21 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   std::shuffle(idx.begin(), idx.end(), gen_);
   return idx;
+}
+
+void Rng::save_state(ckpt::ByteWriter& w) const {
+  // The standard serializes engine and distribution state as text via
+  // operator<< with exact round-trip guarantees; store that string. The
+  // classic locale of a fresh stream keeps the format stable.
+  std::ostringstream os;
+  os << gen_ << ' ' << uni_ << ' ' << norm_;
+  w.str(os.str());
+}
+
+void Rng::load_state(ckpt::ByteReader& r) {
+  std::istringstream is(r.str());
+  is >> gen_ >> uni_ >> norm_;
+  if (!is) throw ckpt::CheckpointError("malformed RNG state string");
 }
 
 }  // namespace remapd

@@ -10,6 +10,8 @@
 #include <random>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
+
 namespace remapd {
 
 /// A seedable pseudo-random source wrapping a 64-bit Mersenne twister.
@@ -17,7 +19,11 @@ namespace remapd {
 /// Prefer passing a Rng& down the call stack over global state; components
 /// that need independent streams should call split() to derive a child
 /// generator whose sequence is decorrelated from the parent's.
-class Rng {
+///
+/// Snapshotable: save_state captures the engine *and* the cached state of
+/// both wrapped distributions (normal_distribution holds a spare Box-Muller
+/// draw), so a restored Rng continues its sequence bit-exactly.
+class Rng : public ckpt::Snapshotable {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed'c0de'1234'5678ULL) : gen_(seed) {}
 
@@ -62,6 +68,7 @@ class Rng {
 
   /// Sample k distinct indices from [0, n) without replacement.
   /// Ordering of the result is unspecified but deterministic for a seed.
+  /// Throws std::invalid_argument when k > n.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
 
@@ -70,6 +77,10 @@ class Rng {
 
   /// Access the underlying engine (for std:: distributions).
   std::mt19937_64& engine() { return gen_; }
+
+  // Snapshotable: full engine + cached-distribution state.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
 
  private:
   std::mt19937_64 gen_;

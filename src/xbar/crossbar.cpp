@@ -111,4 +111,75 @@ std::vector<std::pair<std::size_t, std::size_t>> Crossbar::faulty_cells()
   return out;
 }
 
+// Serialized layout (see also summarize_snapshot, which must stay in
+// sync): rows u64, cols u64, fault_count u64, array_writes u64, faults
+// u8vec, halves u8vec, stuck_r f64vec.
+void Crossbar::save_state(ckpt::ByteWriter& w) const {
+  w.u64(rows_);
+  w.u64(cols_);
+  w.u64(fault_count_);
+  w.u64(array_writes_);
+  std::vector<std::uint8_t> f(faults_.size()), h(halves_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i)
+    f[i] = static_cast<std::uint8_t>(faults_[i]);
+  for (std::size_t i = 0; i < halves_.size(); ++i)
+    h[i] = static_cast<std::uint8_t>(halves_[i]);
+  w.vec_u8(f);
+  w.vec_u8(h);
+  w.vec_f64(stuck_r_);
+}
+
+void Crossbar::load_state(ckpt::ByteReader& r) {
+  const auto rows = static_cast<std::size_t>(r.u64());
+  const auto cols = static_cast<std::size_t>(r.u64());
+  if (rows != rows_ || cols != cols_)
+    throw ckpt::CheckpointError(
+        "crossbar dimension mismatch: stored " + std::to_string(rows) + "x" +
+        std::to_string(cols) + ", expected " + std::to_string(rows_) + "x" +
+        std::to_string(cols_));
+  const auto stored_faults = static_cast<std::size_t>(r.u64());
+  const auto writes = static_cast<std::size_t>(r.u64());
+  const auto f = r.vec_u8();
+  const auto h = r.vec_u8();
+  auto stuck = r.vec_f64();
+  if (f.size() != cell_count() || h.size() != cell_count() ||
+      stuck.size() != cell_count())
+    throw ckpt::CheckpointError("crossbar cell-vector length mismatch");
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (f[i] > static_cast<std::uint8_t>(CellFault::kStuckAt1))
+      throw ckpt::CheckpointError("invalid cell-fault code " +
+                                  std::to_string(f[i]));
+    if (h[i] > static_cast<std::uint8_t>(PairHalf::kNegative))
+      throw ckpt::CheckpointError("invalid pair-half code " +
+                                  std::to_string(h[i]));
+    if (f[i] != 0) ++count;
+  }
+  if (count != stored_faults)
+    throw ckpt::CheckpointError("crossbar fault count disagrees with cells");
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    faults_[i] = static_cast<CellFault>(f[i]);
+    halves_[i] = static_cast<PairHalf>(h[i]);
+  }
+  stuck_r_ = std::move(stuck);
+  fault_count_ = count;
+  array_writes_ = writes;
+}
+
+Crossbar::SnapshotSummary Crossbar::summarize_snapshot(ckpt::ByteReader& r) {
+  SnapshotSummary s;
+  s.rows = static_cast<std::size_t>(r.u64());
+  s.cols = static_cast<std::size_t>(r.u64());
+  s.fault_count = static_cast<std::size_t>(r.u64());
+  s.array_writes = static_cast<std::size_t>(r.u64());
+  const auto f = r.vec_u8();
+  r.vec_u8();   // halves
+  r.vec_f64();  // stuck resistances
+  for (std::uint8_t c : f) {
+    if (c == static_cast<std::uint8_t>(CellFault::kStuckAt0)) ++s.sa0;
+    if (c == static_cast<std::uint8_t>(CellFault::kStuckAt1)) ++s.sa1;
+  }
+  return s;
+}
+
 }  // namespace remapd

@@ -8,11 +8,12 @@
 #include <cstddef>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "xbar/cell.hpp"
 
 namespace remapd {
 
-class Crossbar {
+class Crossbar : public ckpt::Snapshotable {
  public:
   Crossbar(std::size_t rows, std::size_t cols, CellParams params = {});
 
@@ -64,6 +65,22 @@ class Crossbar {
   /// Account writes (one full-array weight update or BIST write pass).
   void record_array_write() { ++array_writes_; }
   [[nodiscard]] std::size_t array_writes() const { return array_writes_; }
+
+  // Snapshotable: per-cell fault types / pair halves / stuck resistances
+  // plus the fault and write counters. load_state validates dimensions and
+  // recounts faults against the stored counter.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
+
+  /// What the `remapd_ckpt` inspector reads out of one serialized
+  /// crossbar without constructing it.
+  struct SnapshotSummary {
+    std::size_t rows = 0, cols = 0;
+    std::size_t fault_count = 0, sa0 = 0, sa1 = 0;
+    std::size_t array_writes = 0;
+  };
+  /// Consume one crossbar's save_state blob from `r` and summarize it.
+  static SnapshotSummary summarize_snapshot(ckpt::ByteReader& r);
 
  private:
   std::size_t rows_, cols_;

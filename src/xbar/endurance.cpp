@@ -47,4 +47,14 @@ std::size_t EnduranceModel::advance_epoch(Rcs& rcs, Rng& rng) {
   return injected;
 }
 
+void EnduranceModel::save_state(ckpt::ByteWriter& w) const {
+  std::vector<std::uint64_t> counts(writes_seen_.begin(), writes_seen_.end());
+  w.vec_u64(counts);
+}
+
+void EnduranceModel::load_state(ckpt::ByteReader& r) {
+  const auto counts = r.vec_u64();
+  writes_seen_.assign(counts.begin(), counts.end());
+}
+
 }  // namespace remapd

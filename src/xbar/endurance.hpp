@@ -34,7 +34,7 @@ struct EnduranceConfig {
   double sa0_fraction = 0.9;
 };
 
-class EnduranceModel {
+class EnduranceModel : public ckpt::Snapshotable {
  public:
   explicit EnduranceModel(EnduranceConfig cfg = {}) : cfg_(cfg) {}
 
@@ -52,6 +52,11 @@ class EnduranceModel {
   /// accumulated since the last call into newly-failed cells. Returns the
   /// number of faults injected.
   std::size_t advance_epoch(Rcs& rcs, Rng& rng);
+
+  // Snapshotable: the per-crossbar write counts seen at the last
+  // advance_epoch call (the w0 baseline of the conditional hazard).
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
 
  private:
   EnduranceConfig cfg_;

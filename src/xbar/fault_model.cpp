@@ -145,4 +145,20 @@ std::size_t FaultInjector::inject_post_deployment(Rcs& rcs) {
   return injected.load(std::memory_order_relaxed);
 }
 
+void FaultInjector::save_state(ckpt::ByteWriter& w) const {
+  w.u64(base_seed_);
+  w.u64(post_rounds_);
+  w.boolean(endurance_initialized_);
+  endurance_model_.save_state(w);
+}
+
+void FaultInjector::load_state(ckpt::ByteReader& r) {
+  base_seed_ = r.u64();
+  post_rounds_ = static_cast<std::size_t>(r.u64());
+  endurance_initialized_ = r.boolean();
+  if (endurance_initialized_)
+    endurance_model_ = EnduranceModel(scenario_.endurance);
+  endurance_model_.load_state(r);
+}
+
 }  // namespace remapd

@@ -55,7 +55,7 @@ struct FaultScenario {
 /// derived from (base seed, injection round, crossbar id), so the injected
 /// patterns are identical no matter how many threads process the
 /// per-crossbar loops (REMAPD_THREADS) or in which order.
-class FaultInjector {
+class FaultInjector : public ckpt::Snapshotable {
  public:
   FaultInjector(FaultScenario scenario, Rng& rng)
       : scenario_(scenario), rng_(rng), base_seed_(rng.engine()()) {}
@@ -71,6 +71,13 @@ class FaultInjector {
   /// With `mechanistic_endurance` set, delegates to the Weibull endurance
   /// model instead. Returns the number of new faults.
   std::size_t inject_post_deployment(Rcs& rcs);
+
+  // Snapshotable: base seed, completed post-deployment rounds, and the
+  // endurance model's write baselines. Restoring the base seed keeps the
+  // child-RNG streams of the remaining rounds identical to an
+  // uninterrupted run.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
 
  private:
   /// Child RNG for crossbar `id` in injection round `round` (round 0 =

@@ -131,4 +131,79 @@ void WeightMapper::record_weight_update() {
   for (XbarId x : mapped_xbars()) rcs_->crossbar(x).record_array_write();
 }
 
+// Serialized layout (read_task_map must stay in sync): u64 num_tasks, then
+// per task: u64 layer, u8 phase, u64 row0/col0/rows/cols, u64 xbar.
+void WeightMapper::save_state(ckpt::ByteWriter& w) const {
+  w.u64(tasks_.size());
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const WeightBlock& b = tasks_[t];
+    w.u64(b.layer);
+    w.u8(static_cast<std::uint8_t>(b.phase));
+    w.u64(b.row0);
+    w.u64(b.col0);
+    w.u64(b.rows);
+    w.u64(b.cols);
+    w.u64(task_to_xbar_[t]);
+  }
+}
+
+void WeightMapper::load_state(ckpt::ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  if (count != tasks_.size())
+    throw ckpt::CheckpointError(
+        "task count mismatch: stored " + std::to_string(count) +
+        ", mapped model has " + std::to_string(tasks_.size()));
+  std::vector<XbarId> assignment(tasks_.size());
+  std::vector<TaskId> inverse(rcs_->total_crossbars(), kNoTask);
+  for (TaskId t = 0; t < count; ++t) {
+    const WeightBlock& b = tasks_[t];
+    const auto layer = static_cast<std::size_t>(r.u64());
+    const auto phase = r.u8();
+    const auto row0 = static_cast<std::size_t>(r.u64());
+    const auto col0 = static_cast<std::size_t>(r.u64());
+    const auto rows = static_cast<std::size_t>(r.u64());
+    const auto cols = static_cast<std::size_t>(r.u64());
+    if (layer != b.layer || phase != static_cast<std::uint8_t>(b.phase) ||
+        row0 != b.row0 || col0 != b.col0 || rows != b.rows || cols != b.cols)
+      throw ckpt::CheckpointError("task " + std::to_string(t) +
+                                  " block geometry does not match the "
+                                  "mapped model");
+    const auto xbar = static_cast<XbarId>(r.u64());
+    if (xbar >= rcs_->total_crossbars())
+      throw ckpt::CheckpointError("task " + std::to_string(t) +
+                                  " assigned to out-of-range crossbar " +
+                                  std::to_string(xbar));
+    if (inverse[xbar] != kNoTask)
+      throw ckpt::CheckpointError("crossbar " + std::to_string(xbar) +
+                                  " assigned to two tasks");
+    assignment[t] = xbar;
+    inverse[xbar] = t;
+  }
+  task_to_xbar_ = std::move(assignment);
+  xbar_to_task_ = std::move(inverse);
+}
+
+std::vector<WeightMapper::TaskMapEntry> WeightMapper::read_task_map(
+    ckpt::ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  std::vector<TaskMapEntry> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t t = 0; t < count; ++t) {
+    TaskMapEntry e;
+    e.layer = static_cast<std::size_t>(r.u64());
+    const std::uint8_t phase = r.u8();
+    if (phase > static_cast<std::uint8_t>(Phase::kBackward))
+      throw ckpt::CheckpointError("invalid phase code " +
+                                  std::to_string(phase));
+    e.phase = static_cast<Phase>(phase);
+    e.row0 = static_cast<std::size_t>(r.u64());
+    e.col0 = static_cast<std::size_t>(r.u64());
+    e.rows = static_cast<std::size_t>(r.u64());
+    e.cols = static_cast<std::size_t>(r.u64());
+    e.xbar = static_cast<XbarId>(r.u64());
+    out.push_back(e);
+  }
+  return out;
+}
+
 }  // namespace remapd

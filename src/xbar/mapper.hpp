@@ -50,7 +50,7 @@ struct WeightBlock {
          w_col >= blk.row0 && w_col < blk.row0 + blk.rows;
 }
 
-class WeightMapper {
+class WeightMapper : public ckpt::Snapshotable {
  public:
   /// `rcs` must outlive the mapper; crossbars must be square.
   explicit WeightMapper(Rcs& rcs);
@@ -106,6 +106,24 @@ class WeightMapper {
       std::size_t l) const {
     return layer_dims_.at(l);
   }
+
+  // Snapshotable: every task's block geometry plus its current crossbar
+  // assignment (the swaps Remap-D has performed live here). load_state
+  // verifies the stored blocks match the mapped model task-for-task, then
+  // applies the assignment and rebuilds the inverse map.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
+
+  /// One row of the serialized task map, as read back by the
+  /// `remapd_ckpt` inspector without reconstructing a mapper.
+  struct TaskMapEntry {
+    std::size_t layer = 0;
+    Phase phase = Phase::kForward;
+    std::size_t row0 = 0, col0 = 0, rows = 0, cols = 0;
+    XbarId xbar = 0;
+  };
+  /// Parse a full save_state blob into inspector rows.
+  static std::vector<TaskMapEntry> read_task_map(ckpt::ByteReader& r);
 
  private:
   Rcs* rcs_;

@@ -67,4 +67,20 @@ std::vector<double> Rcs::fault_densities() const {
   return out;
 }
 
+void Rcs::save_state(ckpt::ByteWriter& w) const {
+  w.u64(total_crossbars());
+  for (XbarId id = 0; id < total_crossbars(); ++id)
+    crossbar(id).save_state(w);
+}
+
+void Rcs::load_state(ckpt::ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  if (count != total_crossbars())
+    throw ckpt::CheckpointError(
+        "RCS crossbar count mismatch: stored " + std::to_string(count) +
+        ", configured " + std::to_string(total_crossbars()));
+  for (XbarId id = 0; id < total_crossbars(); ++id)
+    crossbar(id).load_state(r);
+}
+
 }  // namespace remapd

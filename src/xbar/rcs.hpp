@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "xbar/tile.hpp"
 
 namespace remapd {
@@ -39,7 +40,7 @@ struct RcsConfig {
                              std::size_t xbar_rows, std::size_t xbar_cols);
 };
 
-class Rcs {
+class Rcs : public ckpt::Snapshotable {
  public:
   explicit Rcs(RcsConfig cfg);
 
@@ -69,6 +70,11 @@ class Rcs {
   [[nodiscard]] double mean_fault_density() const;
   /// Ground-truth per-crossbar densities, indexed by XbarId.
   [[nodiscard]] std::vector<double> fault_densities() const;
+
+  // Snapshotable: crossbar count + every crossbar's cell state, in XbarId
+  // order. load_state requires an identically-configured RCS.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
 
  private:
   RcsConfig cfg_;

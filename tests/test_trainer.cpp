@@ -141,6 +141,25 @@ TEST(Trainer, RecommendedConfigKnowsTheZoo) {
   EXPECT_EQ(recommended_config("resnet12").epochs, 8u);
 }
 
+// Every zoo model's recommended configuration must survive trainer
+// construction (model build, RCS sizing, tiling, mapping) — a registry
+// entry whose config cannot even construct is dead on arrival.
+TEST(Trainer, RecommendedConfigConstructsForEveryZooModel) {
+  for (const std::string& name : model_zoo()) {
+    TrainerConfig cfg = recommended_config(name);
+    // Shrink the dataset so construction stays fast; the mapping/RCS
+    // geometry under test is independent of sample counts.
+    cfg.data.train = 32;
+    cfg.data.test = 16;
+    EXPECT_NO_THROW({
+      FaultAwareTrainer trainer(cfg);
+      EXPECT_EQ(trainer.config().model, name);
+      EXPECT_GE(trainer.rcs().total_crossbars(),
+                trainer.mapper().num_tasks());
+    }) << "recommended_config(" << name << ") failed to construct";
+  }
+}
+
 TEST(Trainer, EnvOverridesApply) {
   TrainerConfig cfg = tiny();
   setenv("REMAPD_EPOCHS", "3", 1);

@@ -79,12 +79,25 @@ TEST(Rng, SampleWithoutReplacementProperties) {
   EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
 }
 
+TEST(Rng, SampleWithoutReplacementEdgeCases) {
+  Rng rng(11);
+  // k = 0: empty sample, no draws.
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+  EXPECT_TRUE(rng.sample_without_replacement(0, 0).empty());
+  // k = n: exactly the full population, each index once.
+  const auto full = rng.sample_without_replacement(25, 25);
+  EXPECT_EQ(std::set<std::size_t>(full.begin(), full.end()).size(), 25u);
+  // Any k > n throws, including the n = 0 population.
+  EXPECT_THROW(rng.sample_without_replacement(0, 1), std::invalid_argument);
+}
+
 TEST(Rng, PermutationIsBijection) {
   Rng rng(8);
   const auto perm = rng.permutation(50);
   std::set<std::size_t> unique(perm.begin(), perm.end());
   EXPECT_EQ(unique.size(), 50u);
   EXPECT_EQ(*unique.rbegin(), 49u);
+  EXPECT_TRUE(rng.permutation(0).empty());
 }
 
 // ------------------------------------------------------------------- Stats
@@ -161,10 +174,53 @@ TEST(Csv, BadPathThrows) {
 TEST(Env, IntParsingAndFallback) {
   setenv("REMAPD_TEST_INT", "123", 1);
   EXPECT_EQ(env_int("REMAPD_TEST_INT", 7), 123);
-  setenv("REMAPD_TEST_INT", "not-a-number", 1);
-  EXPECT_EQ(env_int("REMAPD_TEST_INT", 7), 7);
   unsetenv("REMAPD_TEST_INT");
   EXPECT_EQ(env_int("REMAPD_TEST_INT", 7), 7);
+}
+
+// A set-but-malformed value is a user error that must fail loudly, not be
+// silently replaced by the default.
+TEST(Env, MalformedValuesThrow) {
+  setenv("REMAPD_TEST_INT", "not-a-number", 1);
+  EXPECT_THROW(env_int("REMAPD_TEST_INT", 7), std::runtime_error);
+  setenv("REMAPD_TEST_INT", "12abc", 1);
+  EXPECT_THROW(env_int("REMAPD_TEST_INT", 7), std::runtime_error);
+  setenv("REMAPD_TEST_INT", "", 1);
+  EXPECT_THROW(env_int("REMAPD_TEST_INT", 7), std::runtime_error);
+  unsetenv("REMAPD_TEST_INT");
+
+  setenv("REMAPD_TEST_D", "one.five", 1);
+  EXPECT_THROW(env_double("REMAPD_TEST_D", 1.0), std::runtime_error);
+  unsetenv("REMAPD_TEST_D");
+
+  // The error message names the variable and the offending value.
+  setenv("REMAPD_TEST_INT", "nope", 1);
+  try {
+    env_int("REMAPD_TEST_INT", 7);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("REMAPD_TEST_INT"), std::string::npos);
+    EXPECT_NE(msg.find("nope"), std::string::npos);
+  }
+  unsetenv("REMAPD_TEST_INT");
+}
+
+TEST(Env, SizeRejectsNegative) {
+  setenv("REMAPD_TEST_SZ", "8", 1);
+  EXPECT_EQ(env_size("REMAPD_TEST_SZ", 3), 8u);
+  setenv("REMAPD_TEST_SZ", "-2", 1);
+  EXPECT_THROW(env_size("REMAPD_TEST_SZ", 3), std::runtime_error);
+  unsetenv("REMAPD_TEST_SZ");
+  EXPECT_EQ(env_size("REMAPD_TEST_SZ", 3), 3u);
+}
+
+TEST(Env, DoubleNonNegRejectsNegative) {
+  setenv("REMAPD_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double_nonneg("REMAPD_TEST_D", 1.0), 2.5);
+  setenv("REMAPD_TEST_D", "-0.5", 1);
+  EXPECT_THROW(env_double_nonneg("REMAPD_TEST_D", 1.0), std::runtime_error);
+  unsetenv("REMAPD_TEST_D");
 }
 
 TEST(Env, DoubleAndString) {
