@@ -7,10 +7,17 @@
 // Prints wall-clock speedups relative to serial. On a single-core host the
 // speedups will hover around 1.0x (the pool adds only scheduling overhead);
 // the determinism checks are meaningful everywhere.
+//
+// `--json PATH` additionally writes the run as a flat JSON record
+// (per-thread-count median ms, GFLOP/s for the gemm, determinism verdict)
+// — the BENCH_gemm.json perf-trajectory format CI archives per commit.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -52,9 +59,29 @@ struct Workload {
   Tensor serial_result{};
 };
 
+/// One timed (workload, thread-count) point for the JSON record.
+struct JsonPoint {
+  const char* workload;
+  std::size_t threads;
+  double median_ms;
+  double speedup;
+  double gflops;  ///< 0 when the workload has no closed-form flop count
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "bench_gemm: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::size_t> counts{1, 4};
   if (hw != 1 && hw != 4) counts.push_back(hw);
@@ -76,6 +103,10 @@ int main() {
   Workload gemm_w{"gemm 512^3"};
   Workload conv_w{"conv fwd+bwd (16x3x32x32 -> 32ch)"};
 
+  // 512^3 gemm: one multiply + one add per inner-product step.
+  const double gemm_flops = 2.0 * 512.0 * 512.0 * 512.0;
+  std::vector<JsonPoint> points;
+
   std::printf("%-36s %8s %12s %9s\n", "workload", "threads", "median_ms",
               "speedup");
   for (const std::size_t n : counts) {
@@ -92,6 +123,8 @@ int main() {
     }
     std::printf("%-36s %8zu %12.2f %8.2fx\n", gemm_w.name, n, gemm_s * 1e3,
                 gemm_w.serial_s / gemm_s);
+    points.push_back({"gemm_512", n, gemm_s * 1e3, gemm_w.serial_s / gemm_s,
+                      gemm_flops / gemm_s * 1e-9});
 
     // Fresh layer per thread count with the same seed: identical weights,
     // so outputs are comparable bitwise.
@@ -114,8 +147,33 @@ int main() {
     }
     std::printf("%-36s %8zu %12.2f %8.2fx\n", conv_w.name, n, conv_s * 1e3,
                 conv_w.serial_s / conv_s);
+    points.push_back(
+        {"conv_fwd_bwd", n, conv_s * 1e3, conv_w.serial_s / conv_s, 0.0});
   }
 
   std::printf("\nresults bitwise-identical across all thread counts: yes\n");
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "{\"bench\":\"gemm\",\"hardware_threads\":" << hw
+       << ",\"deterministic\":true,\"points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const JsonPoint& p = points[i];
+      os << (i ? "," : "") << "{\"workload\":\"" << p.workload
+         << "\",\"threads\":" << p.threads << ",\"median_ms\":" << p.median_ms
+         << ",\"speedup\":" << p.speedup;
+      if (p.gflops > 0.0) os << ",\"gflops\":" << p.gflops;
+      os << "}";
+    }
+    os << "]}";
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_gemm: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << os.str() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,120 @@
+#include "fleet/chip.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace remapd {
+namespace fleet {
+
+namespace {
+
+// Stream-separation constants so the native-pattern and wear RNG streams
+// of one chip never collide (same derivation idiom as FaultInjector).
+constexpr std::uint64_t kNativeStream = 0x9a7e'0001;
+constexpr std::uint64_t kWearStream = 0x3ea4'0002;
+
+std::size_t cells_for(double fraction, std::size_t cell_count) {
+  if (fraction <= 0.0) return 0;
+  return static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(cell_count)));
+}
+
+}  // namespace
+
+SimChip::SimChip(std::size_t id, ChipSpec spec)
+    : id_(id), spec_(std::move(spec)) {}
+
+void SimChip::bind(std::size_t job) {
+  if (!free())
+    throw FleetError("chip '" + spec_.name + "' is already bound to job #" +
+                     std::to_string(bound_job_));
+  bound_job_ = job;
+}
+
+void SimChip::release() { bound_job_ = kNoIndex; }
+
+std::size_t SimChip::imprint_native(Rcs& rcs) {
+  native_faults_ = 0;
+  if (spec_.native_fault_density <= 0.0) return 0;
+  const std::uint64_t base = Rng::derive_seed(spec_.seed, kNativeStream);
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x) {
+    Crossbar& xb = rcs.crossbar(x);
+    const std::size_t n = cells_for(spec_.native_fault_density,
+                                    xb.cell_count());
+    if (n == 0) continue;
+    // Keyed by (chip, crossbar) only — the same chip always presents the
+    // same native pattern to a same-geometry RCS.
+    Rng rng(Rng::derive_seed(base, x));
+    native_faults_ +=
+        xb.inject_random_faults(n, spec_.native_sa0_fraction, rng);
+  }
+  return native_faults_;
+}
+
+std::size_t SimChip::inject_wear(Rcs& rcs) {
+  const std::size_t round = wear_rounds_++;
+  if (spec_.wear_xbar_fraction <= 0.0 || spec_.wear_cell_fraction <= 0.0)
+    return 0;
+  const std::uint64_t base =
+      Rng::derive_seed(Rng::derive_seed(spec_.seed, kWearStream), round);
+  std::size_t injected = 0;
+  for (XbarId x = 0; x < rcs.total_crossbars(); ++x) {
+    Rng rng(Rng::derive_seed(base, x));
+    if (!rng.bernoulli(spec_.wear_xbar_fraction)) continue;
+    Crossbar& xb = rcs.crossbar(x);
+    const std::size_t n =
+        cells_for(spec_.wear_cell_fraction, xb.cell_count());
+    injected += xb.inject_random_faults(n, spec_.native_sa0_fraction, rng);
+  }
+  return injected;
+}
+
+void SimChip::observe(const Rcs& rcs, const FaultDensityMap& density,
+                      const WeightMapper& mapper) {
+  health_.sample_epoch(observations_++, rcs, density, mapper, {});
+}
+
+ChipPool::ChipPool(std::vector<ChipSpec> specs) {
+  if (specs.empty()) throw FleetError("chip pool must have at least one chip");
+  chips_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    chips_.emplace_back(i, std::move(specs[i]));
+}
+
+ChipPool ChipPool::homogeneous(std::size_t n, ChipSpec base) {
+  std::vector<ChipSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ChipSpec s = base;
+    s.name = base.name + std::to_string(i);
+    s.seed = Rng::derive_seed(base.seed, i);
+    specs.push_back(std::move(s));
+  }
+  return ChipPool(std::move(specs));
+}
+
+std::size_t ChipPool::free_count() const {
+  std::size_t n = 0;
+  for (const SimChip& c : chips_) n += c.free() ? 1 : 0;
+  return n;
+}
+
+std::size_t ChipPool::best_free_chip(std::size_t window, double full_scale,
+                                     double horizon,
+                                     std::size_t exclude) const {
+  std::size_t best = kNoIndex;
+  double best_score = -1.0;
+  for (const SimChip& c : chips_) {
+    if (!c.free() || c.id() == exclude) continue;
+    const double s = c.health(window, full_scale, horizon).score;
+    if (s > best_score) {
+      best_score = s;
+      best = c.id();
+    }
+  }
+  return best;
+}
+
+}  // namespace fleet
+}  // namespace remapd

@@ -1,0 +1,118 @@
+// SimChip / ChipPool: a farm of simulated RCS chips for the fleet
+// scheduler. The trainer owns the job's RCS object (its geometry is sized
+// for the job's model), so a SimChip is not a second crossbar array — it is
+// the *physical identity* a deployed job runs on: a fixed native stuck-cell
+// pattern stamped into whatever RCS is bound here, an optional per-slice
+// wear process on top of the job's own fault scenario, and a health
+// time-series (obs::HealthTracker) fed from the deployed job's state that
+// the scheduler scores to decide migrations.
+//
+// Everything a chip does to a job is deterministic in (chip seed, service
+// round, crossbar id), never in wall time or thread count, preserving the
+// deterministic-parallel-layer guarantee at fleet scale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fault_density_map.hpp"
+#include "fleet/job.hpp"
+#include "obs/health.hpp"
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+namespace fleet {
+
+struct ChipSpec {
+  std::string name;
+  /// Fab-time stuck-cell density stamped into any RCS deployed here. The
+  /// pattern is a fixed property of the chip (keyed by chip seed and
+  /// crossbar id only), so re-deploying onto the same chip re-creates the
+  /// same native faults.
+  double native_fault_density = 0.0;
+  double native_sa0_fraction = 0.9;
+  /// Per-slice wear on top of the job's own scenario: fraction of
+  /// crossbars hit per service round, and the faulty-cell fraction added
+  /// to each selected crossbar. Zero on both = a non-degrading chip.
+  double wear_xbar_fraction = 0.0;
+  double wear_cell_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class SimChip {
+ public:
+  SimChip(std::size_t id, ChipSpec spec);
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  [[nodiscard]] const ChipSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+
+  [[nodiscard]] bool free() const { return bound_job_ == kNoIndex; }
+  [[nodiscard]] std::size_t bound_job() const { return bound_job_; }
+  void bind(std::size_t job);
+  void release();
+
+  /// Stamp the chip's native fault pattern into a freshly deployed (or
+  /// migrated-in) job's RCS. Returns the number of cells faulted.
+  std::size_t imprint_native(Rcs& rcs);
+
+  /// One service round of wear: inject this chip's degradation into the
+  /// deployed RCS. Called once per scheduling slice; advances the wear
+  /// round counter, so successive rounds draw distinct fault patterns.
+  std::size_t inject_wear(Rcs& rcs);
+
+  /// Feed the chip's health time-series from the deployed job's current
+  /// state. Samples are indexed by the chip's own monotone service count,
+  /// not the job's epoch — the series spans every job this chip hosts.
+  void observe(const Rcs& rcs, const FaultDensityMap& density,
+               const WeightMapper& mapper);
+
+  [[nodiscard]] obs::HealthScore health(std::size_t window, double full_scale,
+                                        double horizon) const {
+    return obs::health_score(health_, window, full_scale, horizon);
+  }
+  [[nodiscard]] const obs::HealthTracker& tracker() const { return health_; }
+  [[nodiscard]] std::size_t service_rounds() const { return wear_rounds_; }
+  [[nodiscard]] std::size_t native_faults_imprinted() const {
+    return native_faults_;
+  }
+
+ private:
+  std::size_t id_;
+  ChipSpec spec_;
+  std::size_t bound_job_ = kNoIndex;
+  std::size_t wear_rounds_ = 0;
+  std::size_t observations_ = 0;
+  std::size_t native_faults_ = 0;  ///< cells faulted by the last imprint
+  obs::HealthTracker health_;
+};
+
+class ChipPool {
+ public:
+  explicit ChipPool(std::vector<ChipSpec> specs);
+
+  /// `n` chips sharing `base`'s fault parameters, named "<base.name>0..",
+  /// each with a seed derived from base.seed and its index.
+  [[nodiscard]] static ChipPool homogeneous(std::size_t n, ChipSpec base);
+
+  [[nodiscard]] std::size_t size() const { return chips_.size(); }
+  [[nodiscard]] SimChip& chip(std::size_t i) { return chips_.at(i); }
+  [[nodiscard]] const SimChip& chip(std::size_t i) const {
+    return chips_.at(i);
+  }
+
+  [[nodiscard]] std::size_t free_count() const;
+  /// Free chip with the best health score (ties: lowest id); kNoIndex when
+  /// none is free. `exclude` skips one chip (the migration source).
+  [[nodiscard]] std::size_t best_free_chip(std::size_t window,
+                                           double full_scale, double horizon,
+                                           std::size_t exclude = kNoIndex) const;
+
+ private:
+  std::vector<SimChip> chips_;
+};
+
+}  // namespace fleet
+}  // namespace remapd

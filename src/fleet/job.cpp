@@ -1,0 +1,48 @@
+#include "fleet/job.hpp"
+
+namespace remapd {
+namespace fleet {
+
+void JobSpec::validate(const std::string& ctx) const {
+  auto fail = [&](const std::string& field, const std::string& why) {
+    throw FleetError(ctx + ": field '" + field + "': " + why);
+  };
+  if (name.empty()) fail("name", "must not be empty");
+  if (model.empty()) fail("model", "must not be empty");
+  if (policy.empty()) fail("policy", "must not be empty");
+  if (epochs == 0) fail("epochs", "must be >= 1");
+  if (train == 0) fail("train", "must be >= 1");
+  if (test == 0) fail("test", "must be >= 1");
+}
+
+TrainerConfig JobSpec::trainer_config() const {
+  TrainerConfig cfg = recommended_config(model);
+  cfg.policy = policy;
+  cfg.epochs = epochs;
+  cfg.data.train = train;
+  cfg.data.test = test;
+  cfg.seed = seed;
+  // Compressed to the job's own horizon so short and long jobs see the
+  // same cumulative wear exposure (mirrors examples/remapd_experiment).
+  cfg.faults = FaultScenario::paper_default_compressed(epochs);
+  return cfg;
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRejected:
+      return "rejected";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace fleet
+}  // namespace remapd

@@ -1,0 +1,44 @@
+#include "fleet/migration.hpp"
+
+#include <memory>
+
+namespace remapd {
+namespace fleet {
+
+std::size_t migrate_job(FleetJob& job, std::size_t job_index, SimChip& from,
+                        SimChip& to) {
+  if (!job.trainer || job.state != JobState::kRunning)
+    throw FleetError("migrate: job '" + job.spec.name + "' is not running");
+  if (from.bound_job() != job_index)
+    throw FleetError("migrate: job '" + job.spec.name +
+                     "' is not bound to chip '" + from.name() + "'");
+  if (!to.free())
+    throw FleetError("migrate: target chip '" + to.name() + "' is busy");
+  if (from.id() == to.id())
+    throw FleetError("migrate: source and target are both '" + from.name() +
+                     "'");
+
+  // Freeze the job where it stands. The image carries the RCS fault state,
+  // injector round counters, and density map, so the job's own fault
+  // schedule travels with it — migration changes which chip degrades the
+  // job from here on, never the faults it has already accumulated.
+  const std::string image = job.trainer->save_checkpoint_bytes();
+
+  auto fresh = std::make_unique<FaultAwareTrainer>(job.cfg);
+  fresh->restore_from_bytes(image);
+  // The target's native pattern lands before the deployment prologue so
+  // the rebuilt fault views (and the policies, after their next survey)
+  // see the new chip's defects immediately.
+  to.imprint_native(fresh->rcs());
+  fresh->begin_training();
+
+  job.trainer = std::move(fresh);
+  from.release();
+  to.bind(job_index);
+  job.chip = to.id();
+  ++job.migrations;
+  return image.size();
+}
+
+}  // namespace fleet
+}  // namespace remapd

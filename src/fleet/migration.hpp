@@ -1,0 +1,41 @@
+// Live migration: move a running training job from one chip to another
+// without losing a single epoch of state. Mechanically it is the PR-4
+// checkpoint round-trip done in memory — serialize the trainer (model,
+// optimizer, RNG streams, fault state, density map, policy, history),
+// rebuild a fresh trainer from the same config, restore bitwise, stamp the
+// target chip's native faults, and rebind. The restored job continues
+// exactly where it stopped; on an identical target chip the continuation
+// is bitwise-identical to never having migrated at all (the determinism
+// contract tests/test_fleet.cpp pins down).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fleet/chip.hpp"
+#include "fleet/job.hpp"
+
+namespace remapd {
+namespace fleet {
+
+/// One completed migration, for the fleet report and the tests.
+struct MigrationRecord {
+  std::string job;
+  std::size_t from_chip = kNoIndex;
+  std::size_t to_chip = kNoIndex;
+  std::size_t at_epoch = 0;      ///< epochs completed at migration time
+  std::size_t step = 0;          ///< scheduler step it happened on
+  double from_score = 1.0;       ///< source chip health at decision time
+  double to_score = 1.0;
+  std::size_t image_bytes = 0;   ///< checkpoint image size moved
+};
+
+/// Migrate `job` from chip `from` to chip `to`. `to` must be free and
+/// distinct from `from`; `job` must be running on `from` with a live
+/// trainer. On return the job is bound to `to` with a trainer ready for
+/// its next slice. Returns the in-memory checkpoint image size in bytes.
+std::size_t migrate_job(FleetJob& job, std::size_t job_index, SimChip& from,
+                        SimChip& to);
+
+}  // namespace fleet
+}  // namespace remapd

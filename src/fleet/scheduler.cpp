@@ -1,0 +1,250 @@
+#include "fleet/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+#include "util/log.hpp"
+
+namespace remapd {
+namespace fleet {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SchedPolicy sched_policy_from(const std::string& name) {
+  if (name == "fifo") return SchedPolicy::kFifo;
+  if (name == "priority") return SchedPolicy::kPriority;
+  throw FleetError("unknown scheduling policy '" + name +
+                   "' (expected fifo or priority)");
+}
+
+Scheduler::Scheduler(ChipPool& pool, SchedulerConfig cfg)
+    : pool_(pool), cfg_(cfg) {
+  if (cfg_.slice_epochs == 0)
+    throw FleetError("slice_epochs must be >= 1 (0 would run whole jobs)");
+}
+
+std::size_t Scheduler::submit(JobSpec spec) {
+  spec.validate("submit('" + spec.name + "')");
+  const std::size_t index = jobs_.size();
+  FleetJob job;
+  job.spec = std::move(spec);
+  job.submit_step = step_;
+  if (cfg_.max_queued != 0 && queue_.size() >= cfg_.max_queued) {
+    job.state = JobState::kRejected;
+    job.failure = "admission control: queue full (" +
+                  std::to_string(cfg_.max_queued) + " waiting)";
+    if (cfg_.verbose)
+      log_warn("[fleet] rejected '", job.spec.name, "': ", job.failure);
+  } else {
+    queue_.push_back(index);
+  }
+  jobs_.push_back(std::move(job));
+  return index;
+}
+
+std::size_t Scheduler::pick_queued() const {
+  if (queue_.empty()) return kNoIndex;
+  if (cfg_.policy == SchedPolicy::kFifo) return queue_.front();
+  // Priority: highest wins; queue_ is submission-ordered, so the first
+  // maximum is also the earliest-submitted.
+  std::size_t best = queue_.front();
+  for (std::size_t ji : queue_)
+    if (jobs_[ji].spec.priority > jobs_[best].spec.priority) best = ji;
+  return best;
+}
+
+void Scheduler::bind_job(std::size_t job_index, std::size_t chip_index) {
+  FleetJob& job = jobs_[job_index];
+  SimChip& chip = pool_.chip(chip_index);
+  telemetry::JobLabelScope label("job:" + job.spec.name);
+  job.cfg = job.spec.trainer_config();
+  job.trainer = std::make_unique<FaultAwareTrainer>(job.cfg);
+  // Native faults land before the deployment prologue so the initial BIST
+  // survey and the policy's placement round see the chip as it really is.
+  chip.imprint_native(job.trainer->rcs());
+  job.trainer->begin_training();
+  chip.bind(job_index);
+  job.chip = chip_index;
+  job.admit_step = step_;
+  job.state = JobState::kRunning;
+  if (cfg_.verbose)
+    log_info("[fleet] step ", step_, ": '", job.spec.name, "' -> chip '",
+             chip.name(), "'");
+}
+
+void Scheduler::admit() {
+  while (pool_.free_count() > 0) {
+    const std::size_t ji = pick_queued();
+    if (ji == kNoIndex) return;
+    queue_.erase(std::find(queue_.begin(), queue_.end(), ji));
+    const std::size_t chip = pool_.best_free_chip(
+        cfg_.health_window, cfg_.health_full_scale, cfg_.health_horizon);
+    try {
+      bind_job(ji, chip);
+      running_.push_back(ji);
+    } catch (const std::exception& e) {
+      finish_job(jobs_[ji], JobState::kFailed, e.what());
+    }
+  }
+}
+
+void Scheduler::finish_job(FleetJob& job, JobState state,
+                           const std::string& why) {
+  job.state = state;
+  job.failure = why;
+  job.finish_step = step_ + 1;
+  if (job.chip != kNoIndex) {
+    pool_.chip(job.chip).release();
+    job.chip = kNoIndex;
+  }
+  if (cfg_.verbose)
+    log_info("[fleet] step ", step_, ": '", job.spec.name, "' ",
+             job_state_name(state), why.empty() ? "" : ": ", why);
+}
+
+void Scheduler::maybe_migrate(std::size_t job_index) {
+  FleetJob& job = jobs_[job_index];
+  if (job.migrations >= cfg_.max_migrations_per_job) return;
+
+  const bool forced = cfg_.force_migrate_at_epoch != kNoIndex &&
+                      job.trainer->epochs_completed() >=
+                          cfg_.force_migrate_at_epoch &&
+                      job.migrations == 0;
+  SimChip& cur = pool_.chip(job.chip);
+  const obs::HealthScore cur_hs = cur.health(
+      cfg_.health_window, cfg_.health_full_scale, cfg_.health_horizon);
+  if (!forced) {
+    if (cfg_.migrate_below <= 0.0) return;
+    if (cur_hs.score >= cfg_.migrate_below) return;
+  }
+  const std::size_t target =
+      pool_.best_free_chip(cfg_.health_window, cfg_.health_full_scale,
+                           cfg_.health_horizon, /*exclude=*/job.chip);
+  if (target == kNoIndex) return;
+  SimChip& dst = pool_.chip(target);
+  const obs::HealthScore dst_hs = dst.health(
+      cfg_.health_window, cfg_.health_full_scale, cfg_.health_horizon);
+  if (!forced && dst_hs.score < cur_hs.score + cfg_.min_target_advantage)
+    return;
+
+  MigrationRecord rec;
+  rec.job = job.spec.name;
+  rec.from_chip = cur.id();
+  rec.to_chip = dst.id();
+  rec.at_epoch = job.trainer->epochs_completed();
+  rec.step = step_;
+  rec.from_score = cur_hs.score;
+  rec.to_score = dst_hs.score;
+  rec.image_bytes = migrate_job(job, job_index, cur, dst);
+  migrations_.push_back(rec);
+  if (telemetry::enabled()) {
+    telemetry::Registry::instance().counter("fleet.migrations").add();
+    telemetry::Registry::instance()
+        .histogram("fleet.migration_image_bytes")
+        .record(rec.image_bytes);
+  }
+  if (cfg_.verbose)
+    log_info("[fleet] step ", step_, ": migrated '", job.spec.name,
+             "' chip '", cur.name(), "' (", cur_hs.score, ") -> '",
+             dst.name(), "' (", dst_hs.score, ") at epoch ", rec.at_epoch);
+}
+
+void Scheduler::run_slice_of(std::size_t job_index) {
+  FleetJob& job = jobs_[job_index];
+  SimChip& chip = pool_.chip(job.chip);
+  const auto t0 = std::chrono::steady_clock::now();
+  bool done = false;
+  try {
+    telemetry::JobLabelScope label("job:" + job.spec.name);
+    done = job.trainer->run_slice(cfg_.slice_epochs);
+    // The chip degrades while it serves: wear lands after the slice so the
+    // next slice (wherever it runs) trains on the degraded array.
+    chip.inject_wear(job.trainer->rcs());
+    chip.observe(job.trainer->rcs(), job.trainer->density(),
+                 job.trainer->mapper());
+  } catch (const std::exception& e) {
+    job.busy_seconds += seconds_since(t0);
+    finish_job(job, JobState::kFailed, e.what());
+    return;
+  }
+  const double secs = seconds_since(t0);
+  job.busy_seconds += secs;
+  ++job.slices;
+  if (telemetry::enabled()) {
+    telemetry::Registry::instance().counter("fleet.slices").add();
+    telemetry::Registry::instance()
+        .histogram("fleet.slice_ns")
+        .record(static_cast<std::uint64_t>(secs * 1e9));
+  }
+  if (done) {
+    finish_job(job, JobState::kCompleted, "");
+    if (telemetry::enabled())
+      telemetry::Registry::instance().counter("fleet.jobs_completed").add();
+    return;
+  }
+  maybe_migrate(job_index);
+}
+
+FleetSummary Scheduler::run() {
+  if (ran_) throw FleetError("Scheduler::run() is single-shot");
+  ran_ = true;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  while (!queue_.empty() || !running_.empty()) {
+    admit();
+    if (running_.empty()) break;  // every remaining submission failed to bind
+    if (rr_cursor_ >= running_.size()) rr_cursor_ = 0;
+    const std::size_t ji = running_[rr_cursor_];
+    run_slice_of(ji);
+    ++step_;
+    if (jobs_[ji].state == JobState::kRunning) {
+      ++rr_cursor_;
+    } else {
+      running_.erase(running_.begin() +
+                     static_cast<std::ptrdiff_t>(rr_cursor_));
+    }
+  }
+
+  FleetSummary s;
+  s.chips = pool_.size();
+  s.submitted = jobs_.size();
+  s.steps = step_;
+  s.migrations = migrations_.size();
+  s.wall_seconds = seconds_since(t0);
+  for (const FleetJob& job : jobs_) {
+    switch (job.state) {
+      case JobState::kRejected:
+        ++s.rejected;
+        break;
+      case JobState::kCompleted:
+        ++s.completed;
+        break;
+      case JobState::kFailed:
+        ++s.failed;
+        break;
+      default:
+        break;
+    }
+    if (job.trainer) s.epochs_trained += job.trainer->epochs_completed();
+    if (job.state == JobState::kCompleted || job.state == JobState::kFailed) {
+      s.queue_wait_steps.push_back(
+          static_cast<double>(job.admit_step - job.submit_step));
+      s.latency_steps.push_back(
+          static_cast<double>(job.finish_step - job.submit_step));
+      s.job_seconds.push_back(job.busy_seconds);
+    }
+  }
+  return s;
+}
+
+}  // namespace fleet
+}  // namespace remapd

@@ -1,0 +1,108 @@
+// Fleet scheduler: admits jobs from a queue onto a ChipPool, time-slices
+// the running set at epoch granularity, and live-migrates jobs off
+// degrading chips. One Scheduler::run() drives the whole fleet to
+// completion as a serial discrete-event loop over a virtual step clock
+// (one step = one slice of one job); each slice's *inner* work — GEMMs,
+// BIST, NoC — still uses the shared deterministic thread pool. That split
+// is the determinism contract: scheduling decisions depend only on job
+// specs, chip seeds, and the step counter, so a fleet run is
+// bitwise-reproducible at any REMAPD_THREADS setting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/chip.hpp"
+#include "fleet/job.hpp"
+#include "fleet/migration.hpp"
+#include "fleet/stats.hpp"
+
+namespace remapd {
+namespace fleet {
+
+enum class SchedPolicy {
+  kFifo,      ///< admit in submission order
+  kPriority,  ///< admit by JobSpec::priority (ties: submission order)
+};
+
+/// Parse "fifo" / "priority" (throws FleetError otherwise).
+[[nodiscard]] SchedPolicy sched_policy_from(const std::string& name);
+
+struct SchedulerConfig {
+  SchedPolicy policy = SchedPolicy::kFifo;
+  /// Epochs one job trains per scheduling quantum before yielding.
+  std::size_t slice_epochs = 1;
+  /// Admission control: reject a submission when this many jobs are
+  /// already waiting (0 = unbounded queue).
+  std::size_t max_queued = 0;
+  /// Migrate a job when its chip's health score falls below this
+  /// (0 disables health-driven migration).
+  double migrate_below = 0.0;
+  /// ...and only onto a chip at least this much healthier — hysteresis so
+  /// two equally bad chips don't trade jobs forever.
+  double min_target_advantage = 0.05;
+  /// Safety valve against migration thrashing.
+  std::size_t max_migrations_per_job = 4;
+
+  // Health-score shape (see obs::health_score).
+  std::size_t health_window = 4;
+  double health_full_scale = 0.05;
+  double health_horizon = 2.0;
+
+  /// Test/CI hook: unconditionally migrate each job once when it reaches
+  /// this many completed epochs, health regardless (kNoIndex disables).
+  /// This is what the determinism tests use to force a mid-training
+  /// migration on otherwise pristine chips.
+  std::size_t force_migrate_at_epoch = kNoIndex;
+
+  bool verbose = false;
+};
+
+class Scheduler {
+ public:
+  Scheduler(ChipPool& pool, SchedulerConfig cfg);
+
+  /// Submit a job. Admission control applies immediately: the returned
+  /// index refers to jobs() and the job is kQueued, or kRejected when the
+  /// queue is full. Jobs submitted before run() all carry submit step 0.
+  std::size_t submit(JobSpec spec);
+
+  /// Drive every admitted job to completion (or failure). Callable once.
+  FleetSummary run();
+
+  [[nodiscard]] const std::vector<FleetJob>& jobs() const { return jobs_; }
+  [[nodiscard]] const std::vector<MigrationRecord>& migrations() const {
+    return migrations_;
+  }
+  [[nodiscard]] const ChipPool& pool() const { return pool_; }
+
+ private:
+  /// Bind queued jobs to free chips in policy order.
+  void admit();
+  /// Policy-ordered pick among queued jobs; kNoIndex when none.
+  [[nodiscard]] std::size_t pick_queued() const;
+  /// Construct the trainer and deploy it on `chip` (native-fault imprint +
+  /// deployment prologue).
+  void bind_job(std::size_t job_index, std::size_t chip_index);
+  /// One scheduling quantum of `job_index`: train a slice, apply chip
+  /// wear, feed the chip's health series, then completion / migration
+  /// bookkeeping.
+  void run_slice_of(std::size_t job_index);
+  /// Health check + forced-migration hook for one running job.
+  void maybe_migrate(std::size_t job_index);
+  void finish_job(FleetJob& job, JobState state, const std::string& why);
+
+  ChipPool& pool_;
+  SchedulerConfig cfg_;
+  std::vector<FleetJob> jobs_;
+  std::vector<MigrationRecord> migrations_;
+  std::vector<std::size_t> queue_;    ///< indices of kQueued jobs, FIFO order
+  std::vector<std::size_t> running_;  ///< indices of kRunning jobs
+  std::size_t step_ = 0;
+  std::size_t rr_cursor_ = 0;  ///< round-robin position within running_
+  bool ran_ = false;
+};
+
+}  // namespace fleet
+}  // namespace remapd

@@ -1,0 +1,94 @@
+#include "fleet/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace remapd {
+namespace fleet {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample set.
+double pct(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(p * static_cast<double>(sorted.size()))));
+  return sorted[rank - 1];
+}
+
+void dist_json(std::ostringstream& os, const char* key,
+               const DistSummary& d) {
+  os << "\"" << key << "\":{\"count\":" << d.count << ",\"mean\":" << d.mean
+     << ",\"min\":" << d.min << ",\"max\":" << d.max << ",\"p50\":" << d.p50
+     << ",\"p95\":" << d.p95 << ",\"p99\":" << d.p99 << "}";
+}
+
+}  // namespace
+
+DistSummary summarize(std::vector<double> samples) {
+  DistSummary d;
+  d.count = samples.size();
+  if (samples.empty()) return d;
+  std::sort(samples.begin(), samples.end());
+  d.min = samples.front();
+  d.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  d.mean = sum / static_cast<double>(samples.size());
+  d.p50 = pct(samples, 0.50);
+  d.p95 = pct(samples, 0.95);
+  d.p99 = pct(samples, 0.99);
+  return d;
+}
+
+double FleetSummary::jobs_per_min() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(completed) * 60.0 / wall_seconds
+             : 0.0;
+}
+
+double FleetSummary::epochs_per_min() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(epochs_trained) * 60.0 / wall_seconds
+             : 0.0;
+}
+
+std::string FleetSummary::table() const {
+  const DistSummary wait = summarize(queue_wait_steps);
+  const DistSummary lat = summarize(latency_steps);
+  std::ostringstream os;
+  os << "fleet: " << chips << " chips, " << submitted << " submitted ("
+     << rejected << " rejected), " << completed << " completed, " << failed
+     << " failed, " << migrations << " migrations\n";
+  os << "work:  " << steps << " slices, " << epochs_trained << " epochs in "
+     << wall_seconds << " s  (" << jobs_per_min() << " jobs/min, "
+     << epochs_per_min() << " epochs/min)\n";
+  os << "queue wait  [steps]: p50=" << wait.p50 << " p95=" << wait.p95
+     << " p99=" << wait.p99 << " max=" << wait.max << "\n";
+  os << "completion  [steps]: p50=" << lat.p50 << " p95=" << lat.p95
+     << " p99=" << lat.p99 << " max=" << lat.max << "\n";
+  return os.str();
+}
+
+std::string FleetSummary::json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"chips\":" << chips << ",\"submitted\":" << submitted
+     << ",\"rejected\":" << rejected << ",\"completed\":" << completed
+     << ",\"failed\":" << failed << ",\"migrations\":" << migrations
+     << ",\"steps\":" << steps << ",\"epochs_trained\":" << epochs_trained
+     << ",\"wall_seconds\":" << wall_seconds
+     << ",\"jobs_per_min\":" << jobs_per_min()
+     << ",\"epochs_per_min\":" << epochs_per_min() << ",";
+  dist_json(os, "queue_wait_steps", summarize(queue_wait_steps));
+  os << ",";
+  dist_json(os, "completion_latency_steps", summarize(latency_steps));
+  os << ",";
+  dist_json(os, "job_busy_seconds", summarize(job_seconds));
+  os << "}";
+  return os.str();
+}
+
+}  // namespace fleet
+}  // namespace remapd

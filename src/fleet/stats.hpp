@@ -1,0 +1,57 @@
+// Fleet-level statistics: exact-percentile summaries of queue wait and
+// completion latency (in scheduler steps — the fleet's deterministic
+// virtual clock) plus throughput in wall time. Unlike the telemetry
+// histograms (power-of-two buckets, process-wide), these are computed from
+// the full sample set at end of run, so the reported percentiles are exact
+// and reproducible across runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace remapd {
+namespace fleet {
+
+/// Exact nearest-rank summary of one sample set.
+struct DistSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] DistSummary summarize(std::vector<double> samples);
+
+/// End-of-run fleet report. Step-denominated distributions are
+/// deterministic; jobs_per_min / epochs_per_min are wall-clock throughput
+/// and vary with the machine.
+struct FleetSummary {
+  std::size_t chips = 0;
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t migrations = 0;
+  std::size_t steps = 0;           ///< scheduler slices executed
+  std::size_t epochs_trained = 0;  ///< across all jobs
+  double wall_seconds = 0.0;
+
+  std::vector<double> queue_wait_steps;   ///< admit - submit, finished jobs
+  std::vector<double> latency_steps;      ///< finish - submit, finished jobs
+  std::vector<double> job_seconds;        ///< per-job busy wall time
+
+  [[nodiscard]] double jobs_per_min() const;
+  [[nodiscard]] double epochs_per_min() const;
+
+  /// Human-readable multi-line report.
+  [[nodiscard]] std::string table() const;
+  /// Flat JSON object (the BENCH_fleet.json / CI artifact payload).
+  [[nodiscard]] std::string json() const;
+};
+
+}  // namespace fleet
+}  // namespace remapd

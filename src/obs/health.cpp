@@ -2,8 +2,42 @@
 
 #include <algorithm>
 
+#include "util/stats.hpp"
+
 namespace remapd {
 namespace obs {
+
+HealthScore health_score(const HealthTracker& t, std::size_t window,
+                         double full_scale, double horizon) {
+  HealthScore hs;
+  const std::vector<HealthEpochStats>& es = t.epoch_stats();
+  hs.epochs_observed = std::min(window == 0 ? es.size() : window, es.size());
+  if (hs.epochs_observed == 0 || full_scale <= 0.0) return hs;
+
+  const std::size_t begin = es.size() - hs.epochs_observed;
+  hs.latest_mean_density = es.back().mean_true_density;
+  hs.latest_max_density = es.back().max_true_density;
+
+  if (hs.epochs_observed >= 2) {
+    std::vector<double> xs, ys;
+    xs.reserve(hs.epochs_observed);
+    ys.reserve(hs.epochs_observed);
+    for (std::size_t i = begin; i < es.size(); ++i) {
+      xs.push_back(static_cast<double>(es[i].epoch));
+      ys.push_back(es[i].mean_true_density);
+    }
+    hs.trend_per_epoch = linear_fit(xs, ys).slope;
+  }
+
+  // Score against the density the chip is *headed for*: current level plus
+  // the window trend extrapolated `horizon` epochs out (a recovering trend
+  // never scores above the current level — remaps move tasks, not faults).
+  const double projected =
+      hs.latest_mean_density +
+      std::max(0.0, hs.trend_per_epoch) * std::max(0.0, horizon);
+  hs.score = std::clamp(1.0 - projected / full_scale, 0.0, 1.0);
+  return hs;
+}
 
 void HealthTracker::sample_epoch(std::size_t epoch, const Rcs& rcs,
                                  const FaultDensityMap& density,

@@ -38,6 +38,31 @@ struct HealthEpochStats {
   double max_true_density = 0.0;
 };
 
+class HealthTracker;
+
+/// Scalar chip-health verdict derived from a HealthTracker time-series —
+/// the quantity the fleet scheduler (src/fleet/) thresholds to decide when
+/// a job must be live-migrated off a degrading chip.
+struct HealthScore {
+  /// 1 = pristine, 0 = at/beyond full_scale mean fault density. Blends the
+  /// current level with the recent trend (a chip degrading fast scores
+  /// below a static chip of the same density).
+  double score = 1.0;
+  double latest_mean_density = 0.0;  ///< last epoch's mean true density
+  double latest_max_density = 0.0;   ///< last epoch's worst crossbar
+  double trend_per_epoch = 0.0;      ///< slope of mean density over window
+  std::size_t epochs_observed = 0;   ///< samples the verdict is based on
+};
+
+/// Health score over the last `window` epoch aggregates of `t` (an empty
+/// tracker scores 1.0). `full_scale` is the mean density at which the
+/// score reaches 0; the trend term extrapolates `horizon` epochs ahead so
+/// a climbing fault density is penalized before it arrives.
+[[nodiscard]] HealthScore health_score(const HealthTracker& t,
+                                       std::size_t window = 4,
+                                       double full_scale = 0.05,
+                                       double horizon = 2.0);
+
 class HealthTracker {
  public:
   /// Record one sample per crossbar plus the epoch's estimation-error

@@ -7,6 +7,43 @@
 namespace remapd {
 namespace telemetry {
 
+namespace {
+
+std::mutex& label_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& label_storage() {
+  static std::string label;
+  return label;
+}
+
+/// "<label>/name" under an active job label, plain name otherwise.
+std::string qualified(const std::string& name) {
+  std::lock_guard<std::mutex> lock(label_mutex());
+  const std::string& label = label_storage();
+  return label.empty() ? name : label + "/" + name;
+}
+
+}  // namespace
+
+void set_job_label(std::string label) {
+  std::lock_guard<std::mutex> lock(label_mutex());
+  label_storage() = std::move(label);
+}
+
+std::string job_label() {
+  std::lock_guard<std::mutex> lock(label_mutex());
+  return label_storage();
+}
+
+JobLabelScope::JobLabelScope(std::string label) : prev_(job_label()) {
+  set_job_label(std::move(label));
+}
+
+JobLabelScope::~JobLabelScope() { set_job_label(std::move(prev_)); }
+
 std::size_t Histogram::bucket_index(std::uint64_t v) {
   if (v == 0) return 0;
   const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
@@ -101,22 +138,25 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
+  const std::string q = qualified(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[q];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  const std::string q = qualified(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[q];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
+  const std::string q = qualified(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[q];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }

@@ -98,6 +98,34 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Process-wide job label for metric attribution. While a label is set,
+/// Registry lookups resolve "name" to "<label>/name" and TraceSpans tag
+/// their events with {"job": "<label>"}, so the instrument streams of many
+/// jobs multiplexed through one process (src/fleet/) stay separate and
+/// attributable instead of interleaving into one blended stream.
+///
+/// Call sites that cache an instrument handle (the GEMM/im2col/NoC hot
+/// paths hold function-local static references) keep the identity they
+/// resolved first — by design those remain process-wide aggregates; the
+/// per-epoch trainer metrics and any fleet-level instruments resolve fresh
+/// on every use and therefore split per job.
+void set_job_label(std::string label);  ///< empty string clears the label
+[[nodiscard]] std::string job_label();
+
+/// RAII job-label scope wrapping one job's slice of work. Restores the
+/// previous label (usually empty) on destruction, so nested scopes and
+/// non-fleet callers compose.
+class JobLabelScope {
+ public:
+  explicit JobLabelScope(std::string label);
+  ~JobLabelScope();
+  JobLabelScope(const JobLabelScope&) = delete;
+  JobLabelScope& operator=(const JobLabelScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
 /// Name -> instrument map. Instruments are created on first access and live
 /// for the process lifetime (the singleton is intentionally leaked so
 /// atexit-time exporters never race instrument destruction).
@@ -105,6 +133,7 @@ class Registry {
  public:
   static Registry& instance();
 
+  /// Lookup by name, qualified by the active job label (see job_label()).
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
 
 namespace remapd {
 namespace telemetry {
@@ -23,6 +24,23 @@ const bool g_env_init = [] {
 
 // Per-thread span nesting depth.
 thread_local std::uint32_t t_depth = 0;
+
+/// Fold the active job label (if any) into an event's args JSON so every
+/// span/instant of a multiplexed fleet job is attributable in the trace.
+std::string with_job_label(std::string args_json) {
+  const std::string label = job_label();
+  if (label.empty()) return args_json;
+  const std::string tag = "\"job\":\"" + json_escape(label) + "\"";
+  if (args_json.empty()) return "{" + tag + "}";
+  // args_json is a JSON object by contract; splice the tag in as its
+  // first member.
+  const std::size_t brace = args_json.find('{');
+  if (brace == std::string::npos) return args_json;  // malformed: leave as-is
+  const std::size_t first = args_json.find_first_not_of(" \t\r\n", brace + 1);
+  const bool empty_obj = first == std::string::npos || args_json[first] == '}';
+  args_json.insert(brace + 1, empty_obj ? tag : tag + ",");
+  return args_json;
+}
 
 }  // namespace
 
@@ -88,7 +106,7 @@ TraceSpan::TraceSpan(std::string_view name, std::string_view cat,
   active_ = true;
   name_.assign(name);
   cat_.assign(cat);
-  args_ = std::move(args_json);
+  args_ = with_job_label(std::move(args_json));
   depth_ = t_depth++;
   start_ = now_ns();
 }
@@ -115,7 +133,7 @@ void trace_instant(std::string_view name, std::string_view cat,
   TraceEvent ev;
   ev.name.assign(name);
   ev.cat.assign(cat);
-  ev.args_json = std::move(args_json);
+  ev.args_json = with_job_label(std::move(args_json));
   ev.ts_ns = now_ns();
   ev.tid = current_thread_id();
   ev.depth = t_depth;

@@ -140,7 +140,10 @@ void FaultAwareTrainer::refresh_fault_views() {
   }
 }
 
-TrainResult FaultAwareTrainer::run() {
+void FaultAwareTrainer::begin_training() {
+  if (started_) return;
+  started_ = true;
+
   result_.model = model_.name;
   result_.policy = policy_->name();
   result_.dataset = synth_name(cfg_.data.kind);
@@ -187,156 +190,167 @@ TrainResult FaultAwareTrainer::run() {
     REMAPD_TRACE_SPAN("view-refresh", "trainer");
     refresh_fault_views();
   }
+}
 
+void FaultAwareTrainer::train_one_epoch(std::size_t epoch, Batcher& batcher) {
+  obs::Observatory* ob =
+      obs::enabled() ? &obs::Observatory::instance() : nullptr;
   Sgd& sgd = *sgd_;
-  Batcher batcher(data_.train, cfg_.batch_size, rng_);
 
-  const float base_lr = cfg_.sgd.lr;
-  for (std::size_t epoch = start_epoch_; epoch < cfg_.epochs; ++epoch) {
-    telemetry::TraceSpan epoch_span(
-        "epoch", "trainer",
-        telemetry::enabled() ? "{\"epoch\":" + std::to_string(epoch) + "}"
-                             : std::string());
+  telemetry::TraceSpan epoch_span(
+      "epoch", "trainer",
+      telemetry::enabled() ? "{\"epoch\":" + std::to_string(epoch) + "}"
+                           : std::string());
+  {
     // Step learning-rate schedule (x0.3 at 1/2 and 3/4 of training): late
     // epochs run at a small rate, which keeps a nearly-converged model from
     // being tipped into divergence by accumulated fault perturbations.
-    float lr = base_lr;
+    float lr = cfg_.sgd.lr;
     if (epoch * 2 >= cfg_.epochs) lr *= 0.3f;
     if (epoch * 4 >= 3 * cfg_.epochs) lr *= 0.3f;
     sgd.set_lr(lr);
+  }
 
-    for (auto& imp : grad_importance_) imp.fill(0.0f);
-    // Fresh BN statistics window so evaluation normalizes with the current
-    // epoch's activation distribution.
-    model_.net->visit([](Layer& l) {
-      if (auto* bn = dynamic_cast<BatchNorm*>(&l)) bn->begin_stats_window();
-    });
+  for (auto& imp : grad_importance_) imp.fill(0.0f);
+  // Fresh BN statistics window so evaluation normalizes with the current
+  // epoch's activation distribution.
+  model_.net->visit([](Layer& l) {
+    if (auto* bn = dynamic_cast<BatchNorm*>(&l)) bn->begin_stats_window();
+  });
 
-    batcher.start_epoch();
-    double loss_sum = 0.0;
-    std::size_t correct = 0, seen = 0;
-    for (std::size_t b = 0; b < batcher.batches_per_epoch(); ++b) {
-      const Batch batch = batcher.get(b);
-      Tensor logits;
-      {
-        REMAPD_TRACE_SPAN("forward", "trainer");
-        logits = model_.forward(batch.images, /*train=*/true);
-      }
-      const LossResult batch_loss = softmax_cross_entropy(logits, batch.labels);
-      {
-        REMAPD_TRACE_SPAN("backward", "trainer");
-        model_.backward(batch_loss.dlogits);
-      }
+  batcher.start_epoch();
+  double loss_sum = 0.0;
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t b = 0; b < batcher.batches_per_epoch(); ++b) {
+    const Batch batch = batcher.get(b);
+    Tensor logits;
+    {
+      REMAPD_TRACE_SPAN("forward", "trainer");
+      logits = model_.forward(batch.images, /*train=*/true);
+    }
+    const LossResult batch_loss = softmax_cross_entropy(logits, batch.labels);
+    {
+      REMAPD_TRACE_SPAN("backward", "trainer");
+      model_.backward(batch_loss.dlogits);
+    }
 
-      // Accumulate |grad| importance before the optimizer clears grads.
-      for (std::size_t l = 0; l < layers_.size(); ++l) {
-        const Tensor& g = layers_[l]->weight_param().grad;
-        Tensor& imp = grad_importance_[l];
-        for (std::size_t i = 0; i < g.numel(); ++i)
-          imp[i] += std::abs(g[i]);
-      }
+    // Accumulate |grad| importance before the optimizer clears grads.
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const Tensor& g = layers_[l]->weight_param().grad;
+      Tensor& imp = grad_importance_[l];
+      for (std::size_t i = 0; i < g.numel(); ++i)
+        imp[i] += std::abs(g[i]);
+    }
 
-      {
-        REMAPD_TRACE_SPAN("sgd-step", "trainer");
-        sgd.step();
-        mapper_->record_weight_update();  // endurance accounting
+    {
+      REMAPD_TRACE_SPAN("sgd-step", "trainer");
+      sgd.step();
+      mapper_->record_weight_update();  // endurance accounting
 
-        // Conductance saturation (ablation): a stored weight cannot leave
-        // the representable range [-w_max, +w_max] — the array write clips
-        // it, bounding pinned-gradient drift.
-        if (cfg_.saturate_weights)
-          for (std::size_t l = 0; l < layers_.size(); ++l) {
-            const float wm = layer_w_max_[l];
-            Tensor& wt = layers_[l]->weight_param().value;
-            for (std::size_t i = 0; i < wt.numel(); ++i) {
-              if (wt[i] > wm) wt[i] = wm;
-              else if (wt[i] < -wm) wt[i] = -wm;
-            }
+      // Conductance saturation (ablation): a stored weight cannot leave
+      // the representable range [-w_max, +w_max] — the array write clips
+      // it, bounding pinned-gradient drift.
+      if (cfg_.saturate_weights)
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          const float wm = layer_w_max_[l];
+          Tensor& wt = layers_[l]->weight_param().value;
+          for (std::size_t i = 0; i < wt.numel(); ++i) {
+            if (wt[i] > wm) wt[i] = wm;
+            else if (wt[i] < -wm) wt[i] = -wm;
           }
-      }
-
-      loss_sum += static_cast<double>(batch_loss.loss) * batch.labels.size();
-      correct += batch_loss.correct;
-      seen += batch.labels.size();
+        }
     }
 
-    // --- epoch boundary: wear-out, BIST, remapping, view refresh ---
-    std::size_t new_faults = 0;
-    if (cfg_.fault_target == PhaseFaultTarget::kAll)
-      new_faults = injector_->inject_post_deployment(*rcs_);
-    std::uint64_t bist_cycles = 0;
-    {
-      REMAPD_TRACE_SPAN("bist-survey", "trainer");
-      bist_cycles = survey();
-    }
+    loss_sum += static_cast<double>(batch_loss.loss) * batch.labels.size();
+    correct += batch_loss.correct;
+    seen += batch.labels.size();
+  }
 
-    PolicyContext ctx = make_context(epoch);
-    const std::size_t audit_before = ob ? ob->audit().size() : 0;
-    {
-      REMAPD_TRACE_SPAN("remap", "trainer");
-      policy_->on_epoch_end(ctx);
-    }
-    const std::size_t remaps = policy_->last_events().size();
-    result_.total_remaps += remaps;
-    {
-      REMAPD_TRACE_SPAN("view-refresh", "trainer");
-      refresh_fault_views();
-    }
+  // --- epoch boundary: wear-out, BIST, remapping, view refresh ---
+  std::size_t new_faults = 0;
+  if (cfg_.fault_target == PhaseFaultTarget::kAll)
+    new_faults = injector_->inject_post_deployment(*rcs_);
+  std::uint64_t bist_cycles = 0;
+  {
+    REMAPD_TRACE_SPAN("bist-survey", "trainer");
+    bist_cycles = survey();
+  }
 
-    EpochRecord rec;
-    rec.epoch = epoch;
-    rec.train_loss = static_cast<float>(loss_sum / std::max<std::size_t>(seen, 1));
-    rec.train_accuracy =
-        static_cast<double>(correct) / std::max<std::size_t>(seen, 1);
-    {
-      REMAPD_TRACE_SPAN("evaluate", "trainer");
-      rec.test_accuracy = evaluate_accuracy(model_, data_.test);
-    }
-    rec.remaps = remaps;
-    rec.mean_density_est = density_.mean();
-    rec.max_density_est = density_.max();
-    rec.bist_cycles = bist_cycles;
-    std::size_t faults = 0;
-    for (XbarId x = 0; x < rcs_->total_crossbars(); ++x)
-      faults += rcs_->crossbar(x).fault_count();
-    rec.total_faults = faults;
-    rec.new_faults = new_faults;
-    result_.history.push_back(rec);
+  PolicyContext ctx = make_context(epoch);
+  const std::size_t audit_before = ob ? ob->audit().size() : 0;
+  {
+    REMAPD_TRACE_SPAN("remap", "trainer");
+    policy_->on_epoch_end(ctx);
+  }
+  const std::size_t remaps = policy_->last_events().size();
+  result_.total_remaps += remaps;
+  {
+    REMAPD_TRACE_SPAN("view-refresh", "trainer");
+    refresh_fault_views();
+  }
 
-    if (ob) {
-      // Replay this round's protocol traffic (Fig. 3) from the audit
-      // records it appended, then snapshot every crossbar's health.
-      const auto& audit_recs = ob->audit().records();
-      if (audit_recs.size() > audit_before)
-        ob->noc().record_round(
-            epoch, obs::simulate_round_traffic(audit_recs, audit_before, *rcs_));
-      obs::EpochObs eo;
-      eo.epoch = epoch;
-      eo.remaps = rec.remaps;
-      eo.new_faults = rec.new_faults;
-      eo.total_faults = rec.total_faults;
-      eo.train_loss = rec.train_loss;
-      eo.test_accuracy = rec.test_accuracy;
-      eo.bist_cycles = rec.bist_cycles;
-      ob->sample_epoch(eo, *rcs_, density_, *mapper_);
-    }
+  EpochRecord rec;
+  rec.epoch = epoch;
+  rec.train_loss = static_cast<float>(loss_sum / std::max<std::size_t>(seen, 1));
+  rec.train_accuracy =
+      static_cast<double>(correct) / std::max<std::size_t>(seen, 1);
+  {
+    REMAPD_TRACE_SPAN("evaluate", "trainer");
+    rec.test_accuracy = evaluate_accuracy(model_, data_.test);
+  }
+  rec.remaps = remaps;
+  rec.mean_density_est = density_.mean();
+  rec.max_density_est = density_.max();
+  rec.bist_cycles = bist_cycles;
+  std::size_t faults = 0;
+  for (XbarId x = 0; x < rcs_->total_crossbars(); ++x)
+    faults += rcs_->crossbar(x).fault_count();
+  rec.total_faults = faults;
+  rec.new_faults = new_faults;
+  result_.history.push_back(rec);
 
-    if (telemetry::enabled()) {
-      auto& reg = telemetry::Registry::instance();
-      reg.counter("trainer.epochs").add();
-      reg.counter("trainer.batches").add(batcher.batches_per_epoch());
-      reg.counter("trainer.samples").add(seen);
-      reg.counter("trainer.new_faults").add(new_faults);
-      reg.gauge("trainer.train_loss").set(rec.train_loss);
-      reg.gauge("trainer.test_accuracy").set(rec.test_accuracy);
-      reg.gauge("trainer.total_faults").set(static_cast<double>(faults));
-    }
+  if (ob) {
+    // Replay this round's protocol traffic (Fig. 3) from the audit
+    // records it appended, then snapshot every crossbar's health.
+    const auto& audit_recs = ob->audit().records();
+    if (audit_recs.size() > audit_before)
+      ob->noc().record_round(
+          epoch, obs::simulate_round_traffic(audit_recs, audit_before, *rcs_));
+    obs::EpochObs eo;
+    eo.epoch = epoch;
+    eo.remaps = rec.remaps;
+    eo.new_faults = rec.new_faults;
+    eo.total_faults = rec.total_faults;
+    eo.train_loss = rec.train_loss;
+    eo.test_accuracy = rec.test_accuracy;
+    eo.bist_cycles = rec.bist_cycles;
+    ob->sample_epoch(eo, *rcs_, density_, *mapper_);
+  }
 
-    if (cfg_.verbose)
-      log_info(model_.name, "/", policy_->name(), " epoch ", epoch,
-               " loss=", rec.train_loss, " train_acc=", rec.train_accuracy,
-               " test_acc=", rec.test_accuracy, " remaps=", remaps,
-               " faults=", faults);
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::instance();
+    reg.counter("trainer.epochs").add();
+    reg.counter("trainer.batches").add(batcher.batches_per_epoch());
+    reg.counter("trainer.samples").add(seen);
+    reg.counter("trainer.new_faults").add(new_faults);
+    reg.gauge("trainer.train_loss").set(rec.train_loss);
+    reg.gauge("trainer.test_accuracy").set(rec.test_accuracy);
+    reg.gauge("trainer.total_faults").set(static_cast<double>(faults));
+  }
+
+  if (cfg_.verbose)
+    log_info(model_.name, "/", policy_->name(), " epoch ", epoch,
+             " loss=", rec.train_loss, " train_acc=", rec.train_accuracy,
+             " test_acc=", rec.test_accuracy, " remaps=", remaps,
+             " faults=", faults);
+}
+
+TrainResult FaultAwareTrainer::run() {
+  begin_training();
+
+  Batcher batcher(data_.train, cfg_.batch_size, rng_);
+  for (std::size_t epoch = epochs_completed(); epoch < cfg_.epochs; ++epoch) {
+    train_one_epoch(epoch, batcher);
 
     // --- checkpoint / early stop ---
     const std::size_t done = epoch + 1;
@@ -358,6 +372,23 @@ TrainResult FaultAwareTrainer::run() {
   result_.final_test_accuracy =
       result_.history.empty() ? 0.0 : result_.history.back().test_accuracy;
   return result_;
+}
+
+bool FaultAwareTrainer::run_slice(std::size_t max_epochs) {
+  begin_training();
+  const std::size_t next = epochs_completed();
+  const std::size_t limit =
+      max_epochs == 0 ? cfg_.epochs
+                      : std::min(cfg_.epochs, next + max_epochs);
+  // A per-slice Batcher is bitwise-equivalent to one that lives across
+  // slices: construction consumes no RNG state, and every epoch's shuffle
+  // is drawn fresh from rng_ in start_epoch().
+  Batcher batcher(data_.train, cfg_.batch_size, rng_);
+  for (std::size_t epoch = next; epoch < limit; ++epoch)
+    train_one_epoch(epoch, batcher);
+  result_.final_test_accuracy =
+      result_.history.empty() ? 0.0 : result_.history.back().test_accuracy;
+  return finished();
 }
 
 TrainResult train_with_faults(const TrainerConfig& cfg) {

@@ -25,6 +25,11 @@
 
 namespace remapd {
 
+namespace ckpt {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace ckpt
+
 /// Restrict fault injection to the crossbars of one phase (the Fig. 5
 /// forward-vs-backward tolerance experiment).
 enum class PhaseFaultTarget { kAll, kForwardOnly, kBackwardOnly };
@@ -76,23 +81,68 @@ class FaultAwareTrainer {
   /// epoch and the returned history includes the restored epochs.
   TrainResult run();
 
+  /// Deployment prologue: pre-deployment fault injection, the initial BIST
+  /// survey, the policy's placement round, and the first fault-view build.
+  /// run()/run_slice() call it implicitly; the fleet scheduler calls it
+  /// explicitly when a job is bound to a chip so that an epoch-0 checkpoint
+  /// already contains the deployed state. Idempotent; after a restore it
+  /// rebuilds the views from the restored state instead of re-injecting.
+  void begin_training();
+
+  /// Incremental execution for job multiplexing (src/fleet/): run up to
+  /// `max_epochs` further epochs (0 = run to the cfg.epochs horizon) and
+  /// yield. Returns true when all cfg.epochs are complete. Slices ignore
+  /// checkpoint_every / stop_after_epochs — the caller owns checkpointing.
+  /// Slicing is bitwise-identical to one uninterrupted run(): the batch
+  /// shuffle, fault schedule, and arithmetic depend only on epoch index and
+  /// restored RNG state, never on slice boundaries.
+  bool run_slice(std::size_t max_epochs);
+
+  /// Epochs finished so far (== result().history.size()).
+  [[nodiscard]] std::size_t epochs_completed() const {
+    return result_.history.size();
+  }
+  /// True once every cfg.epochs has run.
+  [[nodiscard]] bool finished() const {
+    return epochs_completed() >= cfg_.epochs;
+  }
+  /// Records accumulated so far (complete after run() / final run_slice()).
+  [[nodiscard]] const TrainResult& result() const { return result_; }
+
   /// Write the complete training state to `path` (atomic; see
   /// ckpt/checkpoint.hpp). Section inventory in trainer/trainer_ckpt.cpp.
   void save_checkpoint(const std::string& path);
+  /// The same checkpoint image as save_checkpoint, returned as bytes
+  /// instead of touching the filesystem — live migration hands this
+  /// straight to another trainer's restore_from_bytes.
+  [[nodiscard]] std::string save_checkpoint_bytes();
   /// Restore state saved by save_checkpoint. Throws ckpt::CheckpointError
   /// if the file is corrupt or its config fingerprint does not match this
   /// trainer's config. A subsequent run() continues bitwise-identically to
   /// the uninterrupted run.
   void restore_from(const std::string& path);
+  /// Restore from an in-memory image (same validation as restore_from).
+  void restore_from_bytes(const std::string& bytes);
 
   // Introspection for tests / examples (valid after construction).
   [[nodiscard]] const Rcs& rcs() const { return *rcs_; }
+  /// Mutable RCS access for the fleet layer: a SimChip imprints its native
+  /// faults / wear into the array state of the job deployed on it.
+  [[nodiscard]] Rcs& rcs() { return *rcs_; }
   [[nodiscard]] const WeightMapper& mapper() const { return *mapper_; }
+  [[nodiscard]] const FaultDensityMap& density() const { return density_; }
   [[nodiscard]] Model& model() { return model_; }
   [[nodiscard]] const TrainerConfig& config() const { return cfg_; }
 
  private:
   void inject_pre_deployment();
+  /// One full training epoch: SGD over the shuffled set, post-deployment
+  /// wear, BIST survey, policy round, view refresh, evaluation; appends the
+  /// epoch's record to result_.
+  void train_one_epoch(std::size_t epoch, Batcher& batcher);
+  /// Shared section writer/reader behind the file and byte checkpoints.
+  void write_sections(ckpt::CheckpointWriter& w);
+  void read_sections(const ckpt::CheckpointReader& reader);
   /// BIST (or ground-truth) survey into the density map; returns cycles.
   std::uint64_t survey();
   /// Rebuild + install fault views on every faultable layer.
@@ -121,11 +171,11 @@ class FaultAwareTrainer {
   std::vector<Tensor> initial_weights_;
   std::vector<Tensor> grad_importance_;
 
-  // Resume state: run() starts at start_epoch_ with result_ pre-seeded
-  // from the checkpointed history.
+  // Resume state: training continues at result_.history.size(), with
+  // result_ pre-seeded from the checkpointed history.
   TrainResult result_;
-  std::size_t start_epoch_ = 0;
   bool resumed_ = false;
+  bool started_ = false;  ///< begin_training() already ran on this object
 };
 
 /// Convenience wrapper: construct + run.

@@ -132,9 +132,7 @@ FaultAwareTrainer::config_fingerprint() const {
   return p;
 }
 
-void FaultAwareTrainer::save_checkpoint(const std::string& path) {
-  ckpt::CheckpointWriter w;
-
+void FaultAwareTrainer::write_sections(ckpt::CheckpointWriter& w) {
   {
     ckpt::RunMeta meta;
     meta.model = model_.name;
@@ -184,13 +182,29 @@ void FaultAwareTrainer::save_checkpoint(const std::string& path) {
     for (const EpochRecord& rec : result_.history)
       save_epoch_record(hw, rec);
   }
+}
 
+void FaultAwareTrainer::save_checkpoint(const std::string& path) {
+  ckpt::CheckpointWriter w;
+  write_sections(w);
   w.write_file(path);
 }
 
-void FaultAwareTrainer::restore_from(const std::string& path) {
-  ckpt::CheckpointReader reader(path);
+std::string FaultAwareTrainer::save_checkpoint_bytes() {
+  ckpt::CheckpointWriter w;
+  write_sections(w);
+  return w.serialize();
+}
 
+void FaultAwareTrainer::restore_from(const std::string& path) {
+  read_sections(ckpt::CheckpointReader(path));
+}
+
+void FaultAwareTrainer::restore_from_bytes(const std::string& bytes) {
+  read_sections(ckpt::CheckpointReader::from_bytes(bytes));
+}
+
+void FaultAwareTrainer::read_sections(const ckpt::CheckpointReader& reader) {
   ckpt::RunMeta meta;
   {
     ckpt::ByteReader r = reader.open("meta");
@@ -280,8 +294,11 @@ void FaultAwareTrainer::restore_from(const std::string& path) {
         " epochs completed but history holds " +
         std::to_string(result_.history.size()));
 
-  start_epoch_ = static_cast<std::size_t>(meta.epochs_completed);
   resumed_ = true;
+  // A restore invalidates any views begin_training() built earlier on this
+  // object: force the prologue to run again (in resumed mode it only
+  // rebuilds views — no re-injection, no placement round).
+  started_ = false;
   // The interrupted leg already wrote its telemetry / obs streams; this
   // process must extend them, not overwrite them.
   telemetry::set_resume_append(true);

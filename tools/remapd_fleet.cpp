@@ -1,0 +1,160 @@
+// Fleet-mode simulation server CLI: ingest a job file (CSV or JSON), run
+// every job to completion across a pool of degrading simulated RCS chips,
+// and report fleet throughput, queue-wait / completion-latency percentiles,
+// and migration activity.
+//
+// Usage: remapd_fleet --jobs FILE [--flag value]...
+//   --jobs FILE         job file; '['-prefixed content parses as a JSON
+//                       array of objects, anything else as headered CSV.
+//                       Fields: name (required), model, policy, epochs,
+//                       train, test, seed, priority
+//   --chips N           chips in the pool (default 3)
+//   --sched NAME        fifo|priority (default fifo)
+//   --slice N           epochs per scheduling quantum (default 1)
+//   --max-queued N      reject submissions beyond N waiting (0 = unbounded)
+//   --migrate-below X   migrate when chip health score < X (0 = off)
+//   --chip-native PCT   per-chip native stuck-cell density (%, default 0)
+//   --chip-wear-n PCT   crossbars gaining faults per service round (%)
+//   --chip-wear-m PCT   new faulty cells per selected crossbar (%)
+//   --chip-seed N       chip pool base seed (default 1)
+//   --force-migrate-at N  force one migration per job once N epochs are
+//                       done (determinism tests / CI smoke)
+//   --csv PATH          per-job per-epoch training history (deterministic;
+//                       byte-comparable across fleet layouts)
+//   --summary-json PATH fleet summary as a flat JSON object
+//   --verbose           per-step scheduler log on stderr
+//
+// Exit codes: 0 all jobs completed, 1 some job failed/rejected, 2 bad
+// usage or unreadable job file.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "fleet/jobfile.hpp"
+#include "fleet/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace remapd;
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "remapd_fleet: %s (see header for flags)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jobs_path;
+  std::string csv_path;
+  std::string summary_json_path;
+  std::size_t chips = 3;
+  fleet::ChipSpec chip_base;
+  chip_base.name = "chip";
+  fleet::SchedulerConfig sched;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--jobs") {
+      jobs_path = next();
+    } else if (flag == "--chips") {
+      chips = static_cast<std::size_t>(std::atoi(next()));
+    } else if (flag == "--sched") {
+      sched.policy = fleet::sched_policy_from(next());
+    } else if (flag == "--slice") {
+      sched.slice_epochs = static_cast<std::size_t>(std::atoi(next()));
+    } else if (flag == "--max-queued") {
+      sched.max_queued = static_cast<std::size_t>(std::atoi(next()));
+    } else if (flag == "--migrate-below") {
+      sched.migrate_below = std::atof(next());
+    } else if (flag == "--chip-native") {
+      chip_base.native_fault_density = std::atof(next()) / 100.0;
+    } else if (flag == "--chip-wear-n") {
+      chip_base.wear_xbar_fraction = std::atof(next()) / 100.0;
+    } else if (flag == "--chip-wear-m") {
+      chip_base.wear_cell_fraction = std::atof(next()) / 100.0;
+    } else if (flag == "--chip-seed") {
+      chip_base.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (flag == "--force-migrate-at") {
+      sched.force_migrate_at_epoch =
+          static_cast<std::size_t>(std::atoi(next()));
+    } else if (flag == "--csv") {
+      csv_path = next();
+    } else if (flag == "--summary-json") {
+      summary_json_path = next();
+    } else if (flag == "--verbose") {
+      sched.verbose = true;
+    } else {
+      usage("unknown flag " + flag);
+    }
+  }
+  if (jobs_path.empty()) usage("--jobs FILE is required");
+  if (chips == 0) usage("--chips must be >= 1");
+
+  try {
+    const std::vector<fleet::JobSpec> specs = fleet::load_job_file(jobs_path);
+    fleet::ChipPool pool = fleet::ChipPool::homogeneous(chips, chip_base);
+    fleet::Scheduler scheduler(pool, sched);
+    for (const fleet::JobSpec& spec : specs) scheduler.submit(spec);
+
+    const fleet::FleetSummary summary = scheduler.run();
+
+    std::printf("%-12s %-10s %-10s %-9s %6s %6s %6s %8s %9s\n", "job",
+                "model", "policy", "state", "epochs", "slices", "migr",
+                "latency", "final_acc");
+    for (const fleet::FleetJob& job : scheduler.jobs()) {
+      const std::size_t epochs =
+          job.trainer ? job.trainer->epochs_completed() : 0;
+      const double acc =
+          job.trainer ? job.trainer->result().final_test_accuracy : 0.0;
+      std::printf("%-12s %-10s %-10s %-9s %6zu %6zu %6zu %8zu %9.3f\n",
+                  job.spec.name.c_str(), job.spec.model.c_str(),
+                  job.spec.policy.c_str(), fleet::job_state_name(job.state),
+                  epochs, job.slices, job.migrations,
+                  job.finish_step - job.submit_step, acc);
+      if (!job.failure.empty())
+        std::printf("%-12s   ^ %s\n", "", job.failure.c_str());
+    }
+    for (const fleet::MigrationRecord& m : scheduler.migrations())
+      std::printf("migration: '%s' chip%zu -> chip%zu at epoch %zu (step "
+                  "%zu, %zu byte image)\n",
+                  m.job.c_str(), m.from_chip, m.to_chip, m.at_epoch, m.step,
+                  m.image_bytes);
+    std::fputs(summary.table().c_str(), stdout);
+
+    if (!csv_path.empty()) {
+      CsvWriter csv(csv_path);
+      csv.header({"job", "model", "policy", "epoch", "loss", "train_acc",
+                  "test_acc", "remaps", "faults", "new_faults"});
+      for (const fleet::FleetJob& job : scheduler.jobs()) {
+        if (!job.trainer) continue;
+        for (const EpochRecord& e : job.trainer->result().history)
+          csv.row(job.spec.name, job.spec.model, job.spec.policy, e.epoch,
+                  e.train_loss, e.train_accuracy, e.test_accuracy, e.remaps,
+                  e.total_faults, e.new_faults);
+      }
+      std::printf("wrote %s\n", csv_path.c_str());
+    }
+    if (!summary_json_path.empty()) {
+      std::ofstream out(summary_json_path);
+      out << summary.json() << "\n";
+      std::printf("wrote %s\n", summary_json_path.c_str());
+    }
+    if (telemetry::enabled())
+      std::fputs(telemetry::summary_table().c_str(), stderr);
+
+    return summary.completed == summary.submitted ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "remapd_fleet: %s\n", e.what());
+    return 2;
+  }
+}
