@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json trajectory records.
+
+Runs `bench_gemm --json` and `bench_fleet --json` from a build tree and
+compares the fresh records against the committed baselines in
+bench/baselines/. Two classes of field, two rules:
+
+* Deterministic fields (scheduler step counts, job outcomes, latency
+  percentiles measured on the fleet's virtual step clock, the gemm
+  determinism verdict) are machine-independent by the repo's determinism
+  contract — they must match the baseline EXACTLY. A drift here is a
+  behavior change smuggled in as a perf delta.
+* Wall-clock fields (median_ms, wall_seconds, jobs_per_min, ...) track
+  machine speed: the fresh value must stay under baseline * --slack
+  (default 3.0 — CI runners are noisy; the gate is for order-of-magnitude
+  regressions, the archived artifacts are for trend analysis).
+
+Usage:
+  check_bench.py [--build-dir build] [--baseline-dir bench/baselines]
+                 [--slack 3.0] [--out-dir .] [--update]
+
+--update rewrites the baselines from the fresh run (commit the result).
+Fresh records are always written to --out-dir as BENCH_gemm.json /
+BENCH_fleet.json so CI can archive them per commit.
+
+Exit codes: 0 pass, 1 regression, 2 bad usage / missing binaries.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# (bench, json-path-in-record) -> exact match required.
+# Paths use '.' for object fields; 'points[]' compares point lists matched
+# on (workload, threads).
+GEMM_EXACT = ["deterministic"]
+GEMM_POINT_WALL = ["median_ms"]  # per-point wall-clock fields
+
+FLEET_EXACT = [
+    "summary.chips",
+    "summary.submitted",
+    "summary.rejected",
+    "summary.completed",
+    "summary.failed",
+    "summary.migrations",
+    "summary.steps",
+    "summary.epochs_trained",
+    "summary.queue_wait_steps.count",
+    "summary.queue_wait_steps.mean",
+    "summary.queue_wait_steps.p50",
+    "summary.queue_wait_steps.p95",
+    "summary.queue_wait_steps.p99",
+    "summary.completion_latency_steps.count",
+    "summary.completion_latency_steps.mean",
+    "summary.completion_latency_steps.p50",
+    "summary.completion_latency_steps.p95",
+    "summary.completion_latency_steps.p99",
+]
+FLEET_WALL = [
+    "summary.wall_seconds",
+    "summary.jobs_per_min",
+    "summary.epochs_per_min",
+]
+
+
+def dig(record, path):
+    cur = record
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+class Gate:
+    def __init__(self, slack):
+        self.slack = slack
+        self.rows = []  # (bench, field, baseline, fresh, rule, ok)
+        self.failed = False
+
+    def exact(self, bench, field, baseline, fresh):
+        ok = baseline == fresh
+        self.rows.append((bench, field, baseline, fresh, "exact", ok))
+        if not ok:
+            self.failed = True
+
+    def wall(self, bench, field, baseline, fresh):
+        if baseline is None or fresh is None:
+            self.exact(bench, field, baseline, fresh)  # force a visible FAIL
+            return
+        limit = baseline * self.slack
+        ok = fresh <= limit
+        rule = f"<= {self.slack:g}x"
+        self.rows.append((bench, field, baseline, fresh, rule, ok))
+        if not ok:
+            self.failed = True
+
+    def report(self):
+        wf = max((len(r[1]) for r in self.rows), default=10)
+        print(f"{'bench':<6} {'field':<{wf}} {'baseline':>14} "
+              f"{'fresh':>14} {'rule':>8}  verdict")
+        for bench, field, baseline, fresh, rule, ok in self.rows:
+            print(f"{bench:<6} {field:<{wf}} {str(baseline):>14} "
+                  f"{str(fresh):>14} {rule:>8}  "
+                  f"{'PASS' if ok else 'FAIL'}")
+        print()
+        if self.failed:
+            print("check_bench: REGRESSION — see FAIL rows above")
+        else:
+            print(f"check_bench: PASS ({len(self.rows)} checks)")
+
+
+def run_bench(binary, out_path):
+    if not os.path.exists(binary):
+        sys.exit(f"check_bench: missing bench binary {binary} "
+                 f"(build the repo first) [exit 2]")
+    res = subprocess.run([binary, "--json", out_path],
+                         stdout=subprocess.DEVNULL)
+    if res.returncode != 0:
+        sys.exit(f"check_bench: {binary} exited {res.returncode} [exit 2]")
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check_gemm(gate, baseline, fresh):
+    for field in GEMM_EXACT:
+        gate.exact("gemm", field, dig(baseline, field), dig(fresh, field))
+    base_points = {(p["workload"], p["threads"]): p
+                   for p in baseline.get("points", [])}
+    fresh_points = {(p["workload"], p["threads"]): p
+                    for p in fresh.get("points", [])}
+    # Every baseline point must still exist — a silently dropped workload
+    # is not a pass.
+    for key, bp in sorted(base_points.items()):
+        fp = fresh_points.get(key)
+        label = f"points[{key[0]},t{key[1]}]"
+        if fp is None:
+            gate.exact("gemm", label, "present", "missing")
+            continue
+        for field in GEMM_POINT_WALL:
+            gate.wall("gemm", f"{label}.{field}", bp.get(field),
+                      fp.get(field))
+
+
+def check_fleet(gate, baseline, fresh):
+    for field in FLEET_EXACT:
+        gate.exact("fleet", field, dig(baseline, field), dig(fresh, field))
+    for field in FLEET_WALL:
+        b, f = dig(baseline, field), dig(fresh, field)
+        if field == "summary.wall_seconds":
+            gate.wall("fleet", field, b, f)
+        else:
+            # Throughputs regress downward: fresh must stay above
+            # baseline / slack.
+            if b is None or f is None:
+                gate.exact("fleet", field, b, f)
+            else:
+                ok = f >= b / gate.slack
+                gate.rows.append(
+                    ("fleet", field, b, f, f">= /{gate.slack:g}", ok))
+                if not ok:
+                    gate.failed = True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--out-dir", default=".")
+    ap.add_argument("--slack", type=float, default=3.0,
+                    help="wall-clock tolerance multiplier (default 3.0)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baselines from the fresh run")
+    args = ap.parse_args()
+
+    benches = [
+        ("gemm", os.path.join(args.build_dir, "bench", "bench_gemm"),
+         check_gemm),
+        ("fleet", os.path.join(args.build_dir, "bench", "bench_fleet"),
+         check_fleet),
+    ]
+
+    gate = Gate(args.slack)
+    for name, binary, checker in benches:
+        fresh_path = os.path.join(args.out_dir, f"BENCH_{name}.json")
+        fresh = run_bench(binary, fresh_path)
+        baseline_path = os.path.join(args.baseline_dir,
+                                     f"BENCH_{name}.json")
+        if args.update:
+            with open(baseline_path, "w") as f:
+                json.dump(fresh, f)
+                f.write("\n")
+            print(f"check_bench: rewrote {baseline_path}")
+            continue
+        if not os.path.exists(baseline_path):
+            sys.exit(f"check_bench: no baseline {baseline_path} "
+                     f"(run with --update to create) [exit 2]")
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        checker(gate, baseline, fresh)
+
+    if args.update:
+        return 0
+    gate.report()
+    return 1 if gate.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

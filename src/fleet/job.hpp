@@ -70,6 +70,12 @@ struct FleetJob {
   std::unique_ptr<FaultAwareTrainer> trainer;
   JobState state = JobState::kQueued;
   std::size_t chip = kNoIndex;  ///< bound chip (kNoIndex while not running)
+  /// Stable trace-correlation id, assigned at submission (1-based submit
+  /// ordinal — deterministic) and carried across migrations: every span
+  /// and flow event of this job is tagged with it, so the job reads as one
+  /// continuous story in chrome://tracing no matter how many chips it
+  /// crossed.
+  std::uint64_t trace_id = 0;
 
   std::size_t submit_step = 0;
   std::size_t admit_step = 0;   ///< first bound to a chip

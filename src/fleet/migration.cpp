@@ -1,9 +1,21 @@
 #include "fleet/migration.hpp"
 
 #include <memory>
+#include <string>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace remapd {
 namespace fleet {
+
+namespace {
+
+std::string chip_args(const SimChip& from, const SimChip& to) {
+  return "\"from\":\"" + from.name() + "\",\"to\":\"" + to.name() + "\"";
+}
+
+}  // namespace
 
 std::size_t migrate_job(FleetJob& job, std::size_t job_index, SimChip& from,
                         SimChip& to) {
@@ -18,19 +30,38 @@ std::size_t migrate_job(FleetJob& job, std::size_t job_index, SimChip& from,
     throw FleetError("migrate: source and target are both '" + from.name() +
                      "'");
 
+  telemetry::JobLabelScope label("job:" + job.spec.name, job.trace_id);
+  // One flow id per migration arrow: the job's trace id in the high bits,
+  // the (1-based) migration ordinal in the low bits. Deterministic, unique
+  // within a run, and greppable back to the job.
+  const std::uint64_t flow = (job.trace_id << 16) + job.migrations + 1;
+
   // Freeze the job where it stands. The image carries the RCS fault state,
   // injector round counters, and density map, so the job's own fault
   // schedule travels with it — migration changes which chip degrades the
   // job from here on, never the faults it has already accumulated.
-  const std::string image = job.trainer->save_checkpoint_bytes();
+  std::string image;
+  {
+    telemetry::TraceSpan span("fleet.migrate.save", "fleet",
+                              "{" + chip_args(from, to) + "}");
+    telemetry::trace_flow_start("migrate", "fleet", flow,
+                                "{" + chip_args(from, to) + "}");
+    image = job.trainer->save_checkpoint_bytes();
+  }
 
   auto fresh = std::make_unique<FaultAwareTrainer>(job.cfg);
-  fresh->restore_from_bytes(image);
-  // The target's native pattern lands before the deployment prologue so
-  // the rebuilt fault views (and the policies, after their next survey)
-  // see the new chip's defects immediately.
-  to.imprint_native(fresh->rcs());
-  fresh->begin_training();
+  {
+    telemetry::TraceSpan span("fleet.migrate.restore", "fleet",
+                              "{" + chip_args(from, to) + "}");
+    telemetry::trace_flow_finish("migrate", "fleet", flow,
+                                 "{" + chip_args(from, to) + "}");
+    fresh->restore_from_bytes(image);
+    // The target's native pattern lands before the deployment prologue so
+    // the rebuilt fault views (and the policies, after their next survey)
+    // see the new chip's defects immediately.
+    to.imprint_native(fresh->rcs());
+    fresh->begin_training();
+  }
 
   job.trainer = std::move(fresh);
   from.release();

@@ -38,6 +38,7 @@ std::size_t Scheduler::submit(JobSpec spec) {
   FleetJob job;
   job.spec = std::move(spec);
   job.submit_step = step_;
+  job.trace_id = static_cast<std::uint64_t>(index) + 1;
   if (cfg_.max_queued != 0 && queue_.size() >= cfg_.max_queued) {
     job.state = JobState::kRejected;
     job.failure = "admission control: queue full (" +
@@ -65,7 +66,7 @@ std::size_t Scheduler::pick_queued() const {
 void Scheduler::bind_job(std::size_t job_index, std::size_t chip_index) {
   FleetJob& job = jobs_[job_index];
   SimChip& chip = pool_.chip(chip_index);
-  telemetry::JobLabelScope label("job:" + job.spec.name);
+  telemetry::JobLabelScope label("job:" + job.spec.name, job.trace_id);
   job.cfg = job.spec.trainer_config();
   job.trainer = std::make_unique<FaultAwareTrainer>(job.cfg);
   // Native faults land before the deployment prologue so the initial BIST
@@ -164,7 +165,7 @@ void Scheduler::run_slice_of(std::size_t job_index) {
   const auto t0 = std::chrono::steady_clock::now();
   bool done = false;
   try {
-    telemetry::JobLabelScope label("job:" + job.spec.name);
+    telemetry::JobLabelScope label("job:" + job.spec.name, job.trace_id);
     done = job.trainer->run_slice(cfg_.slice_epochs);
     // The chip degrades while it serves: wear lands after the slice so the
     // next slice (wherever it runs) trains on the degraded array.
@@ -194,12 +195,82 @@ void Scheduler::run_slice_of(std::size_t job_index) {
   maybe_migrate(job_index);
 }
 
+FleetStatus Scheduler::status(bool done) const {
+  FleetStatus s;
+  s.step = step_;
+  s.done = done;
+  s.submitted = jobs_.size();
+  s.queued = queue_.size();
+  s.running = running_.size();
+  s.migrations = migrations_.size();
+  s.chips.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const SimChip& chip = pool_.chip(i);
+    ChipStatus c;
+    c.id = chip.id();
+    c.name = chip.name();
+    c.free = chip.free();
+    if (!c.free) c.job = jobs_[chip.bound_job()].spec.name;
+    const obs::HealthScore hs = chip.health(
+        cfg_.health_window, cfg_.health_full_scale, cfg_.health_horizon);
+    c.health = hs.score;
+    c.mean_density = hs.latest_mean_density;
+    c.trend_per_epoch = hs.trend_per_epoch;
+    c.wear_rounds = chip.service_rounds();
+    c.native_faults = chip.native_faults_imprinted();
+    s.chips.push_back(std::move(c));
+  }
+  s.jobs.reserve(jobs_.size());
+  for (const FleetJob& job : jobs_) {
+    JobStatus j;
+    j.name = job.spec.name;
+    j.model = job.spec.model;
+    j.policy = job.spec.policy;
+    j.state = job_state_name(job.state);
+    j.trace_id = job.trace_id;
+    if (job.chip != kNoIndex) {
+      j.has_chip = true;
+      j.chip = job.chip;
+    }
+    j.epochs_total = job.spec.epochs;
+    j.slices = job.slices;
+    j.migrations = job.migrations;
+    j.failure = job.failure;
+    if (job.trainer) {
+      j.epochs_completed = job.trainer->epochs_completed();
+      const auto& history = job.trainer->result().history;
+      if (!history.empty()) j.last_test_accuracy = history.back().test_accuracy;
+    }
+    switch (job.state) {
+      case JobState::kCompleted:
+        ++s.completed;
+        break;
+      case JobState::kFailed:
+        ++s.failed;
+        break;
+      case JobState::kRejected:
+        ++s.rejected;
+        break;
+      default:
+        break;
+    }
+    s.jobs.push_back(std::move(j));
+  }
+  return s;
+}
+
+void Scheduler::publish_status(bool done) const {
+  if (cfg_.status_board) cfg_.status_board->publish(status(done));
+}
+
 FleetSummary Scheduler::run() {
   if (ran_) throw FleetError("Scheduler::run() is single-shot");
   ran_ = true;
   const auto t0 = std::chrono::steady_clock::now();
 
+  publish_status();
   while (!queue_.empty() || !running_.empty()) {
+    if (cfg_.stop_requested && cfg_.stop_requested->load()) break;
     admit();
     if (running_.empty()) break;  // every remaining submission failed to bind
     if (rr_cursor_ >= running_.size()) rr_cursor_ = 0;
@@ -212,6 +283,7 @@ FleetSummary Scheduler::run() {
       running_.erase(running_.begin() +
                      static_cast<std::ptrdiff_t>(rr_cursor_));
     }
+    publish_status();
   }
 
   FleetSummary s;
@@ -243,6 +315,7 @@ FleetSummary Scheduler::run() {
       s.job_seconds.push_back(job.busy_seconds);
     }
   }
+  publish_status(/*done=*/true);
   return s;
 }
 

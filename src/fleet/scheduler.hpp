@@ -9,6 +9,7 @@
 // bitwise-reproducible at any REMAPD_THREADS setting.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "fleet/job.hpp"
 #include "fleet/migration.hpp"
 #include "fleet/stats.hpp"
+#include "fleet/status.hpp"
 
 namespace remapd {
 namespace fleet {
@@ -56,6 +58,18 @@ struct SchedulerConfig {
   /// migration on otherwise pristine chips.
   std::size_t force_migrate_at_epoch = kNoIndex;
 
+  /// Live observability (daemon mode): when set, the scheduler publishes a
+  /// FleetStatus snapshot here before the first step, after every step,
+  /// and when run() returns. Publication is write-only for the scheduler —
+  /// nothing a reader does can feed back into a scheduling decision.
+  StatusBoard* status_board = nullptr;
+
+  /// Graceful-shutdown hook (SIGINT in the daemon): when set and it reads
+  /// true at a step boundary, run() stops scheduling further slices and
+  /// returns the partial summary. Checked only between steps, so a slice
+  /// in flight always completes and per-epoch outputs stay well-formed.
+  const std::atomic<bool>* stop_requested = nullptr;
+
   bool verbose = false;
 };
 
@@ -76,6 +90,13 @@ class Scheduler {
     return migrations_;
   }
   [[nodiscard]] const ChipPool& pool() const { return pool_; }
+
+  /// Assemble the current status snapshot (also what gets published to
+  /// cfg.status_board). `done` marks run() as returned.
+  [[nodiscard]] FleetStatus status(bool done = false) const;
+  /// Push status(done) to cfg.status_board if one is configured — the
+  /// daemon calls this once before run() so /status is valid immediately.
+  void publish_status(bool done = false) const;
 
  private:
   /// Bind queued jobs to free chips in policy order.

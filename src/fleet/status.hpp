@@ -1,0 +1,92 @@
+// Live fleet status: the plain-data snapshot the scheduler publishes at
+// every step of its discrete-event clock, and the thread-safe board the
+// HTTP endpoints (/status, /jobs) read it from.
+//
+// The split is the serving-determinism contract: the scheduler writes a
+// complete FleetStatus value under the board's mutex at step boundaries
+// (its own thread, its own clock) and never reads anything back; the
+// server thread copies the latest value out and renders JSON outside the
+// lock. A polling client therefore observes only committed scheduler
+// state — it cannot perturb a scheduling decision, a fault draw, or a CSV
+// byte, which is what lets a served fleet run stay byte-identical to an
+// unserved one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace remapd {
+namespace fleet {
+
+/// One chip's row in /status: identity, occupancy, and the health verdict
+/// the scheduler's migration policy thresholds.
+struct ChipStatus {
+  std::size_t id = 0;
+  std::string name;
+  bool free = true;
+  std::string job;  ///< bound job name, "" when free
+  double health = 1.0;
+  double mean_density = 0.0;     ///< latest epoch's mean true fault density
+  double trend_per_epoch = 0.0;  ///< health-window density slope
+  std::size_t wear_rounds = 0;   ///< service rounds of wear injected
+  std::size_t native_faults = 0; ///< cells faulted by the last imprint
+};
+
+/// One job's row in /status and /jobs.
+struct JobStatus {
+  std::string name;
+  std::string model;
+  std::string policy;
+  std::string state;  ///< job_state_name(): queued/running/completed/...
+  std::uint64_t trace_id = 0;
+  bool has_chip = false;
+  std::size_t chip = 0;  ///< valid only when has_chip
+  std::size_t epochs_completed = 0;
+  std::size_t epochs_total = 0;
+  std::size_t slices = 0;
+  std::size_t migrations = 0;
+  double last_test_accuracy = 0.0;  ///< 0 until the first epoch completes
+  std::string failure;              ///< nonempty when state == "failed"
+};
+
+struct FleetStatus {
+  std::size_t step = 0;  ///< scheduler steps completed (the virtual clock)
+  bool done = false;     ///< run() returned (completion or stop request)
+  std::size_t submitted = 0;
+  std::size_t queued = 0;  ///< current queue depth
+  std::size_t running = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t rejected = 0;
+  std::size_t migrations = 0;
+  std::vector<ChipStatus> chips;
+  std::vector<JobStatus> jobs;
+
+  /// The /status payload: one object with scalar fields plus "chips" and
+  /// "jobs" arrays.
+  [[nodiscard]] std::string json() const;
+  /// The /jobs payload: just the jobs array.
+  [[nodiscard]] std::string jobs_json() const;
+};
+
+/// Single-producer (scheduler step loop) / multi-reader (server thread)
+/// snapshot exchange. Readers get a copy; the lock is held only for the
+/// copy, never across rendering or socket writes.
+class StatusBoard {
+ public:
+  void publish(FleetStatus s);
+  [[nodiscard]] FleetStatus read() const;
+  /// Publish count — lets a poller detect staleness cheaply.
+  [[nodiscard]] std::uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  FleetStatus status_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace fleet
+}  // namespace remapd

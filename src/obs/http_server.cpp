@@ -1,0 +1,268 @@
+#include "obs/http_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace remapd {
+namespace obs {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 16 * 1024;
+constexpr int kPollIntervalMs = 100;
+constexpr int kConnTimeoutSec = 5;
+
+std::string lowercased(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Send all of `data`, ignoring SIGPIPE (a client that hung up mid-write
+/// is not an error worth more than dropping the response).
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers)
+    if (key == name) return value;
+  return "";
+}
+
+HttpResponse HttpResponse::text(std::string body) {
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::json(std::string body) {
+  HttpResponse r;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::error(int status, const std::string& what) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::to_string(status) + " " + http_status_reason(status) + ": " +
+           what + "\n";
+  return r;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+bool parse_http_request(std::string_view head, HttpRequest& out,
+                        std::string& error) {
+  out = HttpRequest{};
+  // Request line: METHOD SP TARGET SP VERSION
+  const std::size_t line_end = head.find('\n');
+  std::string_view line =
+      trim_view(line_end == std::string_view::npos ? head
+                                                   : head.substr(0, line_end));
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    error = "malformed request line (expected 'METHOD TARGET VERSION')";
+    return false;
+  }
+  out.method = std::string(line.substr(0, sp1));
+  out.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.version = std::string(trim_view(line.substr(sp2 + 1)));
+  if (out.method.empty() || out.target.empty()) {
+    error = "empty method or target";
+    return false;
+  }
+  if (out.version.rfind("HTTP/", 0) != 0) {
+    error = "bad version '" + out.version + "'";
+    return false;
+  }
+  if (out.target[0] != '/') {
+    error = "target must be origin-form (leading '/')";
+    return false;
+  }
+  const std::size_t q = out.target.find('?');
+  out.path = out.target.substr(0, q);
+  out.query = q == std::string::npos ? "" : out.target.substr(q + 1);
+
+  // Header fields until the blank line.
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view field = trim_view(head.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (field.empty()) break;  // end of head
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos) {
+      error = "header field without ':' (" + std::string(field) + ")";
+      return false;
+    }
+    out.headers.emplace_back(lowercased(trim_view(field.substr(0, colon))),
+                             std::string(trim_view(field.substr(colon + 1))));
+  }
+  return true;
+}
+
+std::string render_http_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    http_status_reason(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  if (r.status == 405) out += "Allow: GET\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& path, Handler handler) {
+  if (running_.load())
+    throw HttpError("route('" + path + "') after start()");
+  routes_[path] = std::move(handler);
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& req) const {
+  const auto it = routes_.find(req.path);
+  if (it == routes_.end())
+    return HttpResponse::error(404, "no route for " + req.path);
+  if (req.method != "GET")
+    return HttpResponse::error(405, req.method + " not supported (GET only)");
+  try {
+    return it->second(req);
+  } catch (const std::exception& e) {
+    return HttpResponse::error(500, e.what());
+  }
+}
+
+void HttpServer::start(std::uint16_t port) {
+  if (running_.load() || listen_fd_ != -1)
+    throw HttpError("start() is single-shot");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw HttpError(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw HttpError("bind 127.0.0.1:" + std::to_string(port) + ": " + why);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw HttpError("listen: " + why);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw HttpError("getsockname: " + why);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ != -1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+void HttpServer::serve_loop() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      log_warn("http: poll failed: ", std::strerror(errno));
+      break;
+    }
+    if (ready == 0 || !(pfd.revents & POLLIN)) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    served_.fetch_add(1);
+    ::close(conn);
+  }
+  running_.store(false);
+}
+
+void HttpServer::handle_connection(int fd) const {
+  timeval tv{kConnTimeoutSec, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string head;
+  char buf[2048];
+  while (head.size() < kMaxHeadBytes &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // client closed / timed out mid-head
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  if (head.empty()) return;  // connect-and-close probe: nothing to answer
+
+  HttpRequest req;
+  std::string error;
+  HttpResponse resp;
+  if (!parse_http_request(head, req, error))
+    resp = HttpResponse::error(400, error);
+  else
+    resp = dispatch(req);
+  send_all(fd, render_http_response(resp));
+}
+
+}  // namespace obs
+}  // namespace remapd

@@ -1,0 +1,124 @@
+// Dependency-free embedded HTTP/1.1 server for live observability
+// (`remapd_fleet --serve PORT`): blocking POSIX sockets on one dedicated
+// accept thread, one request per connection, GET-only routes.
+//
+// Design constraints:
+//   - Serving must never perturb the simulation: handlers only read
+//     published snapshots (fleet::StatusBoard, telemetry::Registry
+//     atomics), so a polling client cannot change a scheduling decision or
+//     a CSV byte. The server owns no simulation state.
+//   - No event loop, no worker pool: observability traffic is one curl or
+//     one remapd_top at a time, and a blocking accept loop with a poll()
+//     stop-check is the simplest thing that cannot break. Slow clients are
+//     bounded by a per-connection socket timeout.
+//   - Loopback only: the daemon binds 127.0.0.1 — this is an introspection
+//     port, not a public API.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace remapd {
+namespace obs {
+
+/// Socket/bind/listen failures at server startup.
+class HttpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed request head (no body — the observability surface is GET-only,
+/// and request bodies are dropped unread).
+struct HttpRequest {
+  std::string method;   ///< as sent, e.g. "GET"
+  std::string target;   ///< raw request target, e.g. "/status?x=1"
+  std::string path;     ///< target up to '?', e.g. "/status"
+  std::string query;    ///< after '?', "" when absent
+  std::string version;  ///< e.g. "HTTP/1.1"
+  /// Header fields in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value of `name` (lowercase), "" when absent.
+  [[nodiscard]] std::string header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse text(std::string body);
+  static HttpResponse json(std::string body);
+  /// Plain-text error body "<status> <reason>: <what>\n".
+  static HttpResponse error(int status, const std::string& what);
+};
+
+/// Reason phrase for the status codes this server emits (others: "Unknown").
+[[nodiscard]] const char* http_status_reason(int status);
+
+/// Parse a request head (request line + header fields, CRLF or bare-LF
+/// separated, up to but not including the blank line). Returns false and
+/// fills `error` on malformed input; `out` is then unspecified.
+bool parse_http_request(std::string_view head, HttpRequest& out,
+                        std::string& error);
+
+/// Serialize a response with Content-Type / Content-Length /
+/// Connection: close headers (plus Allow: GET on a 405).
+[[nodiscard]] std::string render_http_response(const HttpResponse& r);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();  ///< stops the serving thread if still running
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a handler for an exact path. Must be called before start()
+  /// (the route map is read without a lock once the thread is up).
+  void route(const std::string& path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned, see port()) and start the
+  /// accept thread. Throws HttpError on socket failures. Single-shot.
+  void start(std::uint16_t port);
+
+  /// Stop accepting, join the thread, close the socket. Idempotent; also
+  /// run by the destructor. In-flight requests finish first.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  /// The bound port (resolves a requested port of 0), 0 before start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load();
+  }
+
+  /// Route a parsed request to its handler: 404 unknown path, 405 (with
+  /// Allow: GET) for non-GET methods on a known path, 500 from a throwing
+  /// handler. Public so tests can drive routing without sockets.
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& req) const;
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd) const;
+
+  std::map<std::string, Handler> routes_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace obs
+}  // namespace remapd

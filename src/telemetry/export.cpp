@@ -112,6 +112,8 @@ std::string chrome_trace_json() {
     os << ",\"ts\":" << us_from_ns(ev.ts_ns);
     if (ev.ph == 'X') os << ",\"dur\":" << us_from_ns(ev.dur_ns);
     if (ev.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (ev.ph == 's' || ev.ph == 'f') os << ",\"id\":" << ev.flow_id;
+    if (ev.ph == 'f') os << ",\"bp\":\"e\"";  // bind to enclosing slice
     os << ",\"pid\":1,\"tid\":" << ev.tid;
     if (!ev.args_json.empty())
       os << ",\"args\":" << ev.args_json;
@@ -124,10 +126,15 @@ std::string chrome_trace_json() {
 std::string jsonl() {
   std::ostringstream os;
   for (const TraceEvent& ev : TraceBuffer::instance().snapshot()) {
-    os << "{\"type\":\"" << (ev.ph == 'X' ? "span" : "instant") << "\",";
+    const char* type = ev.ph == 'X'   ? "span"
+                       : ev.ph == 's' ? "flow_start"
+                       : ev.ph == 'f' ? "flow_finish"
+                                      : "instant";
+    os << "{\"type\":\"" << type << "\",";
     append_event_fields(os, ev);
     os << ",\"ts_ns\":" << ev.ts_ns << ",\"dur_ns\":" << ev.dur_ns
        << ",\"tid\":" << ev.tid << ",\"depth\":" << ev.depth;
+    if (ev.flow_id) os << ",\"flow_id\":" << ev.flow_id;
     if (!ev.args_json.empty()) os << ",\"args\":" << ev.args_json;
     os << "}\n";
   }
@@ -276,7 +283,18 @@ bool write_summary(const std::string& path) {
   return write_file(path, summary_table(), resume_append());
 }
 
+namespace {
+/// Guards the append-mode flush: with resume_append() set, every call past
+/// the first would append a second copy of the same lines (the manual
+/// daemon flush, std::atexit, and the terminate handler can all fire in
+/// one shutdown). Truncate-mode flushes rewrite the same bytes and stay
+/// unguarded — re-running them is how a daemon's final flush overrides an
+/// earlier mid-run flush.
+std::atomic<bool> g_append_flush_done{false};
+}  // namespace
+
 void flush_to_env_paths() {
+  if (resume_append() && g_append_flush_done.exchange(true)) return;
   const std::string trace = env_str("REMAPD_TRACE", "");
   if (!trace.empty() && write_chrome_trace(trace))
     log_info("telemetry: wrote Chrome trace to ", trace, " (",
@@ -319,6 +337,7 @@ void init_from_env() {
 void reset_all() {
   TraceBuffer::instance().clear();
   Registry::instance().reset();
+  g_append_flush_done.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace telemetry

@@ -50,6 +50,11 @@ bool write_summary(const std::string& path);
 void init_from_env();
 
 /// Write the env-configured outputs now (also what the exit hooks run).
+/// Idempotent with live serving: truncate-mode writes rewrite the same
+/// bytes on every call, and append-mode writes (resumed runs) land exactly
+/// once even when the daemon's final flush, std::atexit, and the terminate
+/// handler all fire in one shutdown. Safe to call while a serving thread
+/// (obs::HttpServer) is concurrently reading the registry.
 void flush_to_env_paths();
 
 /// Resumed-run mode, set when a training run restores a checkpoint: the

@@ -1,0 +1,134 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace remapd {
+namespace telemetry {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// One rendered series: the optional label set and the value text.
+struct Series {
+  std::string labels;  ///< "" or "job=\"alpha\"" (no braces)
+  std::string suffix;  ///< "" or "_sum" / "_count" for summaries
+  std::string value;
+};
+
+struct Family {
+  const char* type = "counter";
+  std::vector<Series> series;
+};
+
+std::string label_set(const MetricKey& key, const std::string& extra = "") {
+  std::string out;
+  if (!key.job.empty())
+    out = "job=\"" + prometheus_label_value(key.job) + "\"";
+  if (!extra.empty()) {
+    if (!out.empty()) out += ",";
+    out += extra;
+  }
+  return out;
+}
+
+void emit(std::ostringstream& os, const std::string& family_name,
+          const Family& fam) {
+  os << "# TYPE " << family_name << " " << fam.type << "\n";
+  for (const Series& s : fam.series) {
+    os << family_name << s.suffix;
+    if (!s.labels.empty()) os << "{" << s.labels << "}";
+    os << " " << s.value << "\n";
+  }
+}
+
+}  // namespace
+
+MetricKey metric_key(const std::string& registry_name) {
+  if (registry_name.rfind("job:", 0) == 0) {
+    const std::size_t slash = registry_name.find_last_of('/');
+    if (slash != std::string::npos && slash > 4)
+      return {registry_name.substr(slash + 1), registry_name.substr(4, slash - 4)};
+  }
+  return {registry_name, ""};
+}
+
+std::string prometheus_metric_name(const std::string& metric) {
+  std::string out = "remapd_";
+  out.reserve(out.size() + metric.size());
+  for (const char c : metric) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_label_value(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const RegistrySnapshot& snap) {
+  // Group by family first: the exposition format requires every series of
+  // one metric name to sit in one block, and the registry interleaves
+  // job-qualified names ("job:a/x") with their plain siblings ("x").
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, value] : snap.counters) {
+    const MetricKey key = metric_key(name);
+    Family& fam = families[prometheus_metric_name(key.metric)];
+    fam.type = "counter";
+    fam.series.push_back({label_set(key), "", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const MetricKey key = metric_key(name);
+    Family& fam = families[prometheus_metric_name(key.metric)];
+    fam.type = "gauge";
+    fam.series.push_back({label_set(key), "", format_value(value)});
+  }
+  std::ostringstream os;
+  for (const auto& [fname, fam] : families) emit(os, fname, fam);
+
+  // Histograms render as summaries; a summary's quantile/_sum/_count lines
+  // form their own family block, so they are grouped separately.
+  std::map<std::string, Family> summaries;
+  for (const auto& [name, h] : snap.histograms) {
+    const MetricKey key = metric_key(name);
+    Family& fam = summaries[prometheus_metric_name(key.metric)];
+    fam.type = "summary";
+    fam.series.push_back(
+        {label_set(key, "quantile=\"0.5\""), "", std::to_string(h.p50)});
+    fam.series.push_back(
+        {label_set(key, "quantile=\"0.95\""), "", std::to_string(h.p95)});
+    fam.series.push_back(
+        {label_set(key, "quantile=\"0.99\""), "", std::to_string(h.p99)});
+    fam.series.push_back({label_set(key), "_sum", std::to_string(h.sum)});
+    fam.series.push_back({label_set(key), "_count", std::to_string(h.count)});
+  }
+  for (const auto& [fname, fam] : summaries) emit(os, fname, fam);
+  return os.str();
+}
+
+std::string prometheus_text() {
+  return prometheus_text(Registry::instance().snapshot());
+}
+
+}  // namespace telemetry
+}  // namespace remapd

@@ -1,0 +1,59 @@
+// Prometheus text-exposition renderer (format version 0.0.4) over a
+// telemetry RegistrySnapshot — what the fleet daemon's /metrics endpoint
+// serves.
+//
+// Registry names are free-form ("gemm.calls", "fleet.slice_ns") and, under
+// a JobLabelScope, qualified as "job:<name>/metric" — both contain
+// characters that are illegal in a Prometheus metric name. The renderer
+// maps them losslessly onto the exposition's own structure:
+//
+//   gemm.calls                ->  remapd_gemm_calls
+//   job:alpha/fleet.slices    ->  remapd_fleet_slices{job="alpha"}
+//
+// so the same logical metric from many jobs lands in one metric family,
+// split by a "job" label, instead of exploding into per-job families.
+// Histograms render as Prometheus summaries (quantile series + _sum +
+// _count) since the pow2 buckets track p50/p95/p99, not le-buckets.
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace remapd {
+namespace telemetry {
+
+/// A registry name split back into its logical parts: "job:<job>/<metric>"
+/// (the JobLabelScope qualified form) -> {metric, job}; any other name is
+/// {name, ""}. The job segment extends to the *last* '/', since job names
+/// are user-controlled and may themselves contain slashes, while metric
+/// names (code-controlled) never do.
+struct MetricKey {
+  std::string metric;
+  std::string job;
+};
+[[nodiscard]] MetricKey metric_key(const std::string& registry_name);
+
+/// "remapd_" + metric with every character outside [a-zA-Z0-9_] mapped to
+/// '_' (the exposition's legal name charset, minus ':' which is reserved
+/// for recording rules).
+[[nodiscard]] std::string prometheus_metric_name(const std::string& metric);
+
+/// Label-value escaping per the exposition format: backslash, double
+/// quote, and newline.
+[[nodiscard]] std::string prometheus_label_value(const std::string& raw);
+
+/// Render a snapshot: one "# TYPE" block per metric family, families
+/// name-sorted, job-labelled series grouped with their unlabelled
+/// siblings. Counters/gauges map directly; histograms become summaries.
+[[nodiscard]] std::string prometheus_text(const RegistrySnapshot& snap);
+
+/// Render the live registry (Registry::instance().snapshot()).
+[[nodiscard]] std::string prometheus_text();
+
+/// The Content-Type the exposition format mandates.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace telemetry
+}  // namespace remapd

@@ -19,6 +19,11 @@ std::string& label_storage() {
   return label;
 }
 
+std::atomic<std::uint64_t>& trace_id_storage() {
+  static std::atomic<std::uint64_t> id{0};
+  return id;
+}
+
 /// "<label>/name" under an active job label, plain name otherwise.
 std::string qualified(const std::string& name) {
   std::lock_guard<std::mutex> lock(label_mutex());
@@ -38,11 +43,24 @@ std::string job_label() {
   return label_storage();
 }
 
-JobLabelScope::JobLabelScope(std::string label) : prev_(job_label()) {
-  set_job_label(std::move(label));
+void set_job_trace_id(std::uint64_t id) {
+  trace_id_storage().store(id, std::memory_order_relaxed);
 }
 
-JobLabelScope::~JobLabelScope() { set_job_label(std::move(prev_)); }
+std::uint64_t job_trace_id() {
+  return trace_id_storage().load(std::memory_order_relaxed);
+}
+
+JobLabelScope::JobLabelScope(std::string label, std::uint64_t trace_id)
+    : prev_(job_label()), prev_id_(job_trace_id()) {
+  set_job_label(std::move(label));
+  set_job_trace_id(trace_id);
+}
+
+JobLabelScope::~JobLabelScope() {
+  set_job_label(std::move(prev_));
+  set_job_trace_id(prev_id_);
+}
 
 std::size_t Histogram::bucket_index(std::uint64_t v) {
   if (v == 0) return 0;
@@ -159,6 +177,19 @@ Histogram& Registry::histogram(const std::string& name) {
   auto& slot = histograms_[q];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h->stats());
+  return s;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {

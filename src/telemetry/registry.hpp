@@ -112,18 +112,36 @@ class Histogram {
 void set_job_label(std::string label);  ///< empty string clears the label
 [[nodiscard]] std::string job_label();
 
+/// Numeric trace-correlation id accompanying the job label. While nonzero,
+/// every span/instant/flow event is additionally tagged with
+/// {"trace_id": N}, so all of one fleet job's spans — across chips and
+/// migrations — share one stable id in the Chrome trace.
+void set_job_trace_id(std::uint64_t id);  ///< 0 clears the id
+[[nodiscard]] std::uint64_t job_trace_id();
+
 /// RAII job-label scope wrapping one job's slice of work. Restores the
-/// previous label (usually empty) on destruction, so nested scopes and
-/// non-fleet callers compose.
+/// previous label and trace id (usually empty/0) on destruction, so nested
+/// scopes and non-fleet callers compose.
 class JobLabelScope {
  public:
-  explicit JobLabelScope(std::string label);
+  explicit JobLabelScope(std::string label, std::uint64_t trace_id = 0);
   ~JobLabelScope();
   JobLabelScope(const JobLabelScope&) = delete;
   JobLabelScope& operator=(const JobLabelScope&) = delete;
 
  private:
   std::string prev_;
+  std::uint64_t prev_id_ = 0;
+};
+
+/// Point-in-time copy of every instrument, taken under one lock so the
+/// three sections are mutually consistent. This is the read API the live
+/// observability surfaces (Prometheus /metrics, /status) render from —
+/// serving readers never hold registry locks across rendering.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
 };
 
 /// Name -> instrument map. Instruments are created on first access and live
@@ -137,6 +155,9 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// All instruments in one locked pass (name-sorted within each kind).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
 
   /// Name-sorted snapshots for the exporters.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>

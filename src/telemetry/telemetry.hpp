@@ -11,6 +11,7 @@
 #pragma once
 
 #include "telemetry/export.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
 

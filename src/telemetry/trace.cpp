@@ -25,12 +25,22 @@ const bool g_env_init = [] {
 // Per-thread span nesting depth.
 thread_local std::uint32_t t_depth = 0;
 
-/// Fold the active job label (if any) into an event's args JSON so every
-/// span/instant of a multiplexed fleet job is attributable in the trace.
+/// Fold the active job label and trace id (if any) into an event's args
+/// JSON so every span/instant of a multiplexed fleet job is attributable
+/// in the trace, and a migrated job's spans share one id across chips.
 std::string with_job_label(std::string args_json) {
-  const std::string label = job_label();
-  if (label.empty()) return args_json;
-  const std::string tag = "\"job\":\"" + json_escape(label) + "\"";
+  std::string label = job_label();
+  const std::uint64_t trace_id = job_trace_id();
+  if (label.empty() && trace_id == 0) return args_json;
+  // The registry label is the metric qualifier ("job:<name>"); the trace
+  // tag carries just the name.
+  if (label.rfind("job:", 0) == 0) label.erase(0, 4);
+  std::string tag;
+  if (!label.empty()) tag = "\"job\":\"" + json_escape(label) + "\"";
+  if (trace_id != 0) {
+    if (!tag.empty()) tag += ",";
+    tag += "\"trace_id\":" + std::to_string(trace_id);
+  }
   if (args_json.empty()) return "{" + tag + "}";
   // args_json is a JSON object by contract; splice the tag in as its
   // first member.
@@ -139,6 +149,35 @@ void trace_instant(std::string_view name, std::string_view cat,
   ev.depth = t_depth;
   ev.ph = 'i';
   TraceBuffer::instance().record(std::move(ev));
+}
+
+namespace {
+
+void record_flow(char ph, std::string_view name, std::string_view cat,
+                 std::uint64_t flow_id, std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.cat.assign(cat);
+  ev.args_json = with_job_label(std::move(args_json));
+  ev.ts_ns = now_ns();
+  ev.flow_id = flow_id;
+  ev.tid = current_thread_id();
+  ev.depth = t_depth;
+  ev.ph = ph;
+  TraceBuffer::instance().record(std::move(ev));
+}
+
+}  // namespace
+
+void trace_flow_start(std::string_view name, std::string_view cat,
+                      std::uint64_t flow_id, std::string args_json) {
+  record_flow('s', name, cat, flow_id, std::move(args_json));
+}
+
+void trace_flow_finish(std::string_view name, std::string_view cat,
+                       std::uint64_t flow_id, std::string args_json) {
+  record_flow('f', name, cat, flow_id, std::move(args_json));
 }
 
 }  // namespace telemetry

@@ -38,13 +38,19 @@ std::uint64_t now_ns();
 /// at 1), used as the Chrome-trace tid.
 std::uint32_t current_thread_id();
 
-/// One completed span ('X') or instant ('i') event.
+/// One completed span ('X'), instant ('i'), or flow ('s' start / 'f'
+/// finish) event. Flow events render as an arrow in chrome://tracing from
+/// the span enclosing the 's' to the span enclosing the matching 'f'
+/// (same name, cat, and flow_id) — how a migrated fleet job's
+/// save-checkpoint span on the source chip is linked to the restore span
+/// on the target.
 struct TraceEvent {
   std::string name;
   std::string cat;
   std::string args_json;  ///< "" or a JSON object, e.g. {"epoch":3}
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;  ///< 0 for instant events
+  std::uint64_t flow_id = 0;  ///< nonzero only for 's'/'f' events
   std::uint32_t tid = 0;
   std::uint32_t depth = 0;  ///< span nesting depth on its thread
   char ph = 'X';
@@ -95,6 +101,16 @@ class TraceSpan {
 /// Record an instant event (zero duration), e.g. one remap decision.
 void trace_instant(std::string_view name, std::string_view cat,
                    std::string args_json = "");
+
+/// Record the start / finish of a flow. Emit the start inside the source
+/// span and the finish inside the destination span; both halves must share
+/// (name, cat, flow_id), and the id must be unique per arrow (the fleet
+/// derives it from the job's trace id and its migration ordinal). A finish
+/// binds to its enclosing slice ("bp":"e"), the Perfetto-recommended form.
+void trace_flow_start(std::string_view name, std::string_view cat,
+                      std::uint64_t flow_id, std::string args_json = "");
+void trace_flow_finish(std::string_view name, std::string_view cat,
+                       std::uint64_t flow_id, std::string args_json = "");
 
 }  // namespace telemetry
 }  // namespace remapd

@@ -198,6 +198,12 @@ std::string FaultAwareTrainer::save_checkpoint_bytes() {
 
 void FaultAwareTrainer::restore_from(const std::string& path) {
   read_sections(ckpt::CheckpointReader(path));
+  // The interrupted leg (a previous process) already wrote its telemetry /
+  // obs streams to the same paths; this process must extend them, not
+  // overwrite them. Only the file path sets this: an in-memory restore
+  // (restore_from_bytes — fleet live migration) happens inside one
+  // process whose exporters hold the full history and flush normally.
+  telemetry::set_resume_append(true);
 }
 
 void FaultAwareTrainer::restore_from_bytes(const std::string& bytes) {
@@ -299,9 +305,6 @@ void FaultAwareTrainer::read_sections(const ckpt::CheckpointReader& reader) {
   // object: force the prologue to run again (in resumed mode it only
   // rebuilds views — no re-injection, no placement round).
   started_ = false;
-  // The interrupted leg already wrote its telemetry / obs streams; this
-  // process must extend them, not overwrite them.
-  telemetry::set_resume_append(true);
 }
 
 }  // namespace remapd

@@ -22,18 +22,30 @@
 //   --csv PATH          per-job per-epoch training history (deterministic;
 //                       byte-comparable across fleet layouts)
 //   --summary-json PATH fleet summary as a flat JSON object
+//   --serve PORT        daemon mode: serve /metrics /healthz /status /jobs
+//                       on 127.0.0.1:PORT (0 = kernel-assigned) while the
+//                       fleet runs, then keep serving the final state until
+//                       SIGINT. Serving never perturbs the simulation: the
+//                       outputs above stay byte-identical to an unserved
+//                       run. Implies telemetry collection.
 //   --verbose           per-step scheduler log on stderr
 //
 // Exit codes: 0 all jobs completed, 1 some job failed/rejected, 2 bad
 // usage or unreadable job file.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "fleet/jobfile.hpp"
 #include "fleet/scheduler.hpp"
+#include "fleet/status.hpp"
+#include "obs/http_server.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 
@@ -47,12 +59,18 @@ using namespace remapd;
   std::exit(2);
 }
 
+std::atomic<bool> g_stop{false};
+
+void on_sigint(int) { g_stop.store(true); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string jobs_path;
   std::string csv_path;
   std::string summary_json_path;
+  bool serve = false;
+  std::uint16_t serve_port = 0;
   std::size_t chips = 3;
   fleet::ChipSpec chip_base;
   chip_base.name = "chip";
@@ -91,6 +109,9 @@ int main(int argc, char** argv) {
       csv_path = next();
     } else if (flag == "--summary-json") {
       summary_json_path = next();
+    } else if (flag == "--serve") {
+      serve = true;
+      serve_port = static_cast<std::uint16_t>(std::atoi(next()));
     } else if (flag == "--verbose") {
       sched.verbose = true;
     } else {
@@ -100,11 +121,48 @@ int main(int argc, char** argv) {
   if (jobs_path.empty()) usage("--jobs FILE is required");
   if (chips == 0) usage("--chips must be >= 1");
 
+  fleet::StatusBoard board;
+  obs::HttpServer server;
+  if (serve) {
+    // Daemon mode. Metrics come from the telemetry registry, so collection
+    // must be on; /status and /jobs read only published StatusBoard
+    // snapshots, so a polling client cannot perturb the run.
+    telemetry::set_enabled(true);
+    sched.status_board = &board;
+    sched.stop_requested = &g_stop;
+    std::signal(SIGINT, on_sigint);
+    std::signal(SIGTERM, on_sigint);
+    server.route("/healthz", [](const obs::HttpRequest&) {
+      return obs::HttpResponse::text("ok\n");
+    });
+    server.route("/metrics", [](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.content_type = telemetry::kPrometheusContentType;
+      r.body = telemetry::prometheus_text();
+      return r;
+    });
+    server.route("/status", [&board](const obs::HttpRequest&) {
+      return obs::HttpResponse::json(board.read().json());
+    });
+    server.route("/jobs", [&board](const obs::HttpRequest&) {
+      return obs::HttpResponse::json(board.read().jobs_json());
+    });
+  }
+
   try {
     const std::vector<fleet::JobSpec> specs = fleet::load_job_file(jobs_path);
     fleet::ChipPool pool = fleet::ChipPool::homogeneous(chips, chip_base);
     fleet::Scheduler scheduler(pool, sched);
     for (const fleet::JobSpec& spec : specs) scheduler.submit(spec);
+
+    if (serve) {
+      scheduler.publish_status();  // /status is valid before the first step
+      server.start(serve_port);
+      std::fprintf(stderr,
+                   "remapd_fleet: serving on http://127.0.0.1:%u/ "
+                   "(/metrics /healthz /status /jobs)\n",
+                   static_cast<unsigned>(server.port()));
+    }
 
     const fleet::FleetSummary summary = scheduler.run();
 
@@ -151,6 +209,22 @@ int main(int argc, char** argv) {
     }
     if (telemetry::enabled())
       std::fputs(telemetry::summary_table().c_str(), stderr);
+
+    if (serve) {
+      // All outputs are on disk; keep answering polls on the final state
+      // until the operator interrupts. A SIGINT that already landed during
+      // run() (partial fleet) skips the linger entirely.
+      if (!g_stop.load())
+        std::fprintf(stderr,
+                     "remapd_fleet: run complete; serving final state until "
+                     "SIGINT\n");
+      while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      server.stop();
+      // Final flush with the server thread already joined — idempotent
+      // against the atexit flush that follows (telemetry/export.cpp).
+      telemetry::flush_to_env_paths();
+    }
 
     return summary.completed == summary.submitted ? 0 : 1;
   } catch (const std::exception& e) {

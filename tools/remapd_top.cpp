@@ -1,0 +1,381 @@
+// Terminal fleet monitor: polls a `remapd_fleet --serve` daemon's /status
+// endpoint and redraws a compact fleet / chips / jobs table, top(1)-style.
+//
+// Usage: remapd_top [--host H] [--port P] [--interval-ms N] [--once]
+//                   [--plain]
+//   --host H         daemon host (default 127.0.0.1)
+//   --port P         daemon port (default 8787)
+//   --interval-ms N  poll period (default 1000)
+//   --once           print one snapshot and exit (no screen control)
+//   --plain          never emit ANSI clear/home (implied by --once)
+//
+// Exits 0 on a clean snapshot (or when the daemon reports done and --once),
+// 1 when the daemon is unreachable. The tool is deliberately self-contained
+// (own HTTP GET + own minimal JSON reader) so it links against nothing but
+// the util library — it must stay usable against a daemon built from any
+// other revision.
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader: parses the /status payload (objects, arrays, strings,
+// numbers, booleans, null) into a tree. Strict enough for a trusted local
+// daemon; not a general-purpose validator.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback = 0) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  [[nodiscard]] std::string text(const std::string& key) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kString ? v->str : "";
+  }
+  [[nodiscard]] bool truthy(const std::string& key) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kBool && v->boolean;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    error_ = &error;
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing content");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    *error_ = why + " at offset " + std::to_string(pos_);
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("truncated escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            // Status payloads are ASCII; render any \uXXXX as '?'.
+            if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+            pos_ += 4;
+            c = '?';
+            break;
+          default: c = e; break;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') {
+      out.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+        JsonValue v;
+        if (!value(v)) return false;
+        out.fields.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated object");
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == '}') { ++pos_; return true; }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      out.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+      while (true) {
+        JsonValue v;
+        if (!value(v)) return false;
+        out.items.push_back(std::move(v));
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated array");
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == ']') { ++pos_; return true; }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.str);
+    }
+    if (c == 't') { out.kind = JsonValue::Kind::kBool; out.boolean = true;
+                    return literal("true"); }
+    if (c == 'f') { out.kind = JsonValue::Kind::kBool; out.boolean = false;
+                    return literal("false"); }
+    if (c == 'n') { out.kind = JsonValue::Kind::kNull;
+                    return literal("null"); }
+    // number
+    const std::size_t start = pos_;
+    if (s_[pos_] == '-' || s_[pos_] == '+') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return fail("expected value");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::atof(std::string(s_.substr(start, pos_ - start)).c_str());
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string* error_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// One-shot HTTP GET (the daemon speaks Connection: close, so read-to-EOF
+// framing is sufficient).
+
+bool http_get(const std::string& host, const std::string& port,
+              const std::string& path, std::string& body, std::string& error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+      rc != 0) {
+    error = std::string("resolve: ") + ::gai_strerror(rc);
+    return false;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    error = "connect to " + host + ":" + port + " failed: " +
+            std::strerror(errno);
+    return false;
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      error = std::string("send: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) {
+    error = "malformed response (no header terminator)";
+    return false;
+  }
+  const std::string status_line = raw.substr(0, raw.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    error = "daemon answered: " + status_line;
+    return false;
+  }
+  body = raw.substr(hdr_end + 4);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_sigint(int) { g_interrupted = 1; }
+
+void render(const JsonValue& st) {
+  std::printf("fleet  step %zu  %s   jobs: %zu submitted, %zu queued, "
+              "%zu running, %zu completed, %zu failed, %zu rejected   "
+              "migrations: %zu\n",
+              static_cast<std::size_t>(st.num("step")),
+              st.truthy("done") ? "DONE   " : "RUNNING",
+              static_cast<std::size_t>(st.num("submitted")),
+              static_cast<std::size_t>(st.num("queued")),
+              static_cast<std::size_t>(st.num("running")),
+              static_cast<std::size_t>(st.num("completed")),
+              static_cast<std::size_t>(st.num("failed")),
+              static_cast<std::size_t>(st.num("rejected")),
+              static_cast<std::size_t>(st.num("migrations")));
+
+  const JsonValue* chips = st.find("chips");
+  std::printf("\n%-4s %-10s %-12s %8s %12s %12s %6s\n", "id", "chip", "job",
+              "health", "density", "trend/ep", "wear");
+  if (chips)
+    for (const JsonValue& c : chips->items) {
+      const std::string job = c.text("job");
+      std::printf("%-4zu %-10s %-12s %8.3f %12.5f %12.5f %6zu\n",
+                  static_cast<std::size_t>(c.num("id")),
+                  c.text("name").c_str(), job.empty() ? "-" : job.c_str(),
+                  c.num("health"), c.num("mean_density"),
+                  c.num("trend_per_epoch"),
+                  static_cast<std::size_t>(c.num("wear_rounds")));
+    }
+
+  const JsonValue* jobs = st.find("jobs");
+  std::printf("\n%-12s %-10s %-10s %-10s %9s %6s %5s %9s %8s\n", "job",
+              "model", "policy", "state", "epochs", "slices", "migr",
+              "test_acc", "trace_id");
+  if (jobs)
+    for (const JsonValue& j : jobs->items) {
+      char epochs[32];
+      std::snprintf(epochs, sizeof(epochs), "%zu/%zu",
+                    static_cast<std::size_t>(j.num("epochs_completed")),
+                    static_cast<std::size_t>(j.num("epochs_total")));
+      std::printf("%-12s %-10s %-10s %-10s %9s %6zu %5zu %9.3f %8zu\n",
+                  j.text("name").c_str(), j.text("model").c_str(),
+                  j.text("policy").c_str(), j.text("state").c_str(), epochs,
+                  static_cast<std::size_t>(j.num("slices")),
+                  static_cast<std::size_t>(j.num("migrations")),
+                  j.num("last_test_accuracy"),
+                  static_cast<std::size_t>(j.num("trace_id")));
+      const std::string failure = j.text("failure");
+      if (!failure.empty())
+        std::printf("%-12s   ^ %s\n", "", failure.c_str());
+    }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string port = "8787";
+  long interval_ms = 1000;
+  bool once = false;
+  bool plain = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "remapd_top: missing value for %s\n",
+                     flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--host") host = next();
+    else if (flag == "--port") port = next();
+    else if (flag == "--interval-ms") interval_ms = std::atol(next());
+    else if (flag == "--once") once = true;
+    else if (flag == "--plain") plain = true;
+    else {
+      std::fprintf(stderr, "remapd_top: unknown flag %s (see header)\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  if (interval_ms < 50) interval_ms = 50;
+  std::signal(SIGINT, on_sigint);
+
+  bool ever_ok = false;
+  while (!g_interrupted) {
+    std::string body, error;
+    if (!http_get(host, port, "/status", body, error)) {
+      if (!ever_ok) {
+        std::fprintf(stderr, "remapd_top: %s\n", error.c_str());
+        return 1;
+      }
+      // The daemon exiting mid-watch ends the session cleanly.
+      std::fprintf(stderr, "remapd_top: daemon gone (%s)\n", error.c_str());
+      return 0;
+    }
+    JsonValue st;
+    if (std::string perr; !JsonParser(body).parse(st, perr)) {
+      std::fprintf(stderr, "remapd_top: bad /status payload: %s\n",
+                   perr.c_str());
+      return 1;
+    }
+    ever_ok = true;
+    if (!once && !plain) std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
+    std::printf("remapd_top  %s:%s  (poll %ldms)\n\n", host.c_str(),
+                port.c_str(), interval_ms);
+    render(st);
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
