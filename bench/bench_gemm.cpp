@@ -23,6 +23,7 @@
 
 #include "nn/conv2d.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_kernel.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -90,10 +91,13 @@ int main(int argc, char** argv) {
               hw);
 
   // Workload A: one large gemm (512x512x512 — the shape class of the fc /
-  // im2col matmuls).
+  // im2col matmuls), plus a 256^3 point (the smallest "square, cache-
+  // resident panel" shape the perf gate tracks GFLOP/s floors on).
   Rng rng(2024);
   const Tensor ga = Tensor::randn(Shape{512, 512}, rng);
   const Tensor gb = Tensor::randn(Shape{512, 512}, rng);
+  const Tensor ha = Tensor::randn(Shape{256, 256}, rng);
+  const Tensor hb = Tensor::randn(Shape{256, 256}, rng);
 
   // Workload B: conv-dominated training step — forward + backward of a
   // 3->32 channel 3x3 conv over a 16-sample batch of 32x32 images, the
@@ -101,10 +105,12 @@ int main(int argc, char** argv) {
   const Tensor cx = Tensor::randn(Shape{16, 3, 32, 32}, rng);
 
   Workload gemm_w{"gemm 512^3"};
+  Workload gemm256_w{"gemm 256^3"};
   Workload conv_w{"conv fwd+bwd (16x3x32x32 -> 32ch)"};
 
-  // 512^3 gemm: one multiply + one add per inner-product step.
+  // n^3 gemm: one multiply + one add per inner-product step.
   const double gemm_flops = 2.0 * 512.0 * 512.0 * 512.0;
+  const double gemm256_flops = 2.0 * 256.0 * 256.0 * 256.0;
   std::vector<JsonPoint> points;
 
   std::printf("%-36s %8s %12s %9s\n", "workload", "threads", "median_ms",
@@ -125,6 +131,21 @@ int main(int argc, char** argv) {
                 gemm_w.serial_s / gemm_s);
     points.push_back({"gemm_512", n, gemm_s * 1e3, gemm_w.serial_s / gemm_s,
                       gemm_flops / gemm_s * 1e-9});
+
+    Tensor hc;
+    const double gemm256_s = time_it([&] { hc = matmul(ha, hb); });
+    if (n == 1) {
+      gemm256_w.serial_s = gemm256_s;
+      gemm256_w.serial_result = hc;
+    } else if (!bitwise_equal(hc, gemm256_w.serial_result)) {
+      std::printf("FAIL: gemm 256^3 result differs at %zu threads\n", n);
+      return 1;
+    }
+    std::printf("%-36s %8zu %12.2f %8.2fx\n", gemm256_w.name, n,
+                gemm256_s * 1e3, gemm256_w.serial_s / gemm256_s);
+    points.push_back({"gemm_256", n, gemm256_s * 1e3,
+                      gemm256_w.serial_s / gemm256_s,
+                      gemm256_flops / gemm256_s * 1e-9});
 
     // Fresh layer per thread count with the same seed: identical weights,
     // so outputs are comparable bitwise.
@@ -156,7 +177,8 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::ostringstream os;
     os << "{\"bench\":\"gemm\",\"hardware_threads\":" << hw
-       << ",\"deterministic\":true,\"points\":[";
+       << ",\"kernel\":\"" << gemm_kernel_name()
+       << "\",\"deterministic\":true,\"points\":[";
     for (std::size_t i = 0; i < points.size(); ++i) {
       const JsonPoint& p = points[i];
       os << (i ? "," : "") << "{\"workload\":\"" << p.workload

@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the BENCH_*.json trajectory records.
 
-Runs `bench_gemm --json` and `bench_fleet --json` from a build tree and
-compares the fresh records against the committed baselines in
-bench/baselines/. Two classes of field, two rules:
+Runs `bench_gemm --json`, `bench_kernels --json` and `bench_fleet --json`
+from a build tree and compares the fresh records against the committed
+baselines in bench/baselines/. Three classes of field, three rules:
 
 * Deterministic fields (scheduler step counts, job outcomes, latency
-  percentiles measured on the fleet's virtual step clock, the gemm
-  determinism verdict) are machine-independent by the repo's determinism
+  percentiles measured on the fleet's virtual step clock, the gemm/kernels
+  determinism verdicts) are machine-independent by the repo's determinism
   contract — they must match the baseline EXACTLY. A drift here is a
   behavior change smuggled in as a perf delta.
-* Wall-clock fields (median_ms, wall_seconds, jobs_per_min, ...) track
-  machine speed: the fresh value must stay under baseline * --slack
-  (default 3.0 — CI runners are noisy; the gate is for order-of-magnitude
-  regressions, the archived artifacts are for trend analysis).
+* Wall-clock fields (median_ms, wall_seconds, ...) track machine speed:
+  the fresh value must stay under baseline * --slack (default 3.0 — CI
+  runners are noisy; the gate is for order-of-magnitude regressions, the
+  archived artifacts are for trend analysis).
+* Throughput fields (gflops, jobs_per_min, ...) regress downward: the
+  fresh value must stay above baseline / --slack.
 
 Usage:
   check_bench.py [--build-dir build] [--baseline-dir bench/baselines]
@@ -37,6 +39,11 @@ import sys
 # on (workload, threads).
 GEMM_EXACT = ["deterministic"]
 GEMM_POINT_WALL = ["median_ms"]  # per-point wall-clock fields
+GEMM_POINT_FLOOR = ["gflops"]    # per-point throughput floors (if present)
+
+KERNELS_EXACT = ["deterministic"]
+KERNELS_POINT_WALL = ["median_ms"]
+KERNELS_POINT_FLOOR = ["gflops"]
 
 FLEET_EXACT = [
     "summary.chips",
@@ -97,6 +104,17 @@ class Gate:
         if not ok:
             self.failed = True
 
+    def floor(self, bench, field, baseline, fresh):
+        """Throughput: fresh must stay above baseline / slack."""
+        if baseline is None or fresh is None:
+            self.exact(bench, field, baseline, fresh)  # force a visible FAIL
+            return
+        ok = fresh >= baseline / self.slack
+        rule = f">= /{self.slack:g}"
+        self.rows.append((bench, field, baseline, fresh, rule, ok))
+        if not ok:
+            self.failed = True
+
     def report(self):
         wf = max((len(r[1]) for r in self.rows), default=10)
         print(f"{'bench':<6} {'field':<{wf}} {'baseline':>14} "
@@ -124,9 +142,13 @@ def run_bench(binary, out_path):
         return json.load(f)
 
 
-def check_gemm(gate, baseline, fresh):
-    for field in GEMM_EXACT:
-        gate.exact("gemm", field, dig(baseline, field), dig(fresh, field))
+def check_points(gate, bench, baseline, fresh, exact_fields, wall_fields,
+                 floor_fields):
+    """Point lists matched on (workload, threads): wall fields bounded
+    above, throughput floors bounded below (checked only where the
+    baseline point reports them)."""
+    for field in exact_fields:
+        gate.exact(bench, field, dig(baseline, field), dig(fresh, field))
     base_points = {(p["workload"], p["threads"]): p
                    for p in baseline.get("points", [])}
     fresh_points = {(p["workload"], p["threads"]): p
@@ -137,11 +159,25 @@ def check_gemm(gate, baseline, fresh):
         fp = fresh_points.get(key)
         label = f"points[{key[0]},t{key[1]}]"
         if fp is None:
-            gate.exact("gemm", label, "present", "missing")
+            gate.exact(bench, label, "present", "missing")
             continue
-        for field in GEMM_POINT_WALL:
-            gate.wall("gemm", f"{label}.{field}", bp.get(field),
+        for field in wall_fields:
+            gate.wall(bench, f"{label}.{field}", bp.get(field),
                       fp.get(field))
+        for field in floor_fields:
+            if field in bp:
+                gate.floor(bench, f"{label}.{field}", bp.get(field),
+                           fp.get(field))
+
+
+def check_gemm(gate, baseline, fresh):
+    check_points(gate, "gemm", baseline, fresh, GEMM_EXACT,
+                 GEMM_POINT_WALL, GEMM_POINT_FLOOR)
+
+
+def check_kernels(gate, baseline, fresh):
+    check_points(gate, "kernels", baseline, fresh, KERNELS_EXACT,
+                 KERNELS_POINT_WALL, KERNELS_POINT_FLOOR)
 
 
 def check_fleet(gate, baseline, fresh):
@@ -152,16 +188,8 @@ def check_fleet(gate, baseline, fresh):
         if field == "summary.wall_seconds":
             gate.wall("fleet", field, b, f)
         else:
-            # Throughputs regress downward: fresh must stay above
-            # baseline / slack.
-            if b is None or f is None:
-                gate.exact("fleet", field, b, f)
-            else:
-                ok = f >= b / gate.slack
-                gate.rows.append(
-                    ("fleet", field, b, f, f">= /{gate.slack:g}", ok))
-                if not ok:
-                    gate.failed = True
+            # Throughputs regress downward.
+            gate.floor("fleet", field, b, f)
 
 
 def main():
@@ -178,6 +206,8 @@ def main():
     benches = [
         ("gemm", os.path.join(args.build_dir, "bench", "bench_gemm"),
          check_gemm),
+        ("kernels", os.path.join(args.build_dir, "bench", "bench_kernels"),
+         check_kernels),
         ("fleet", os.path.join(args.build_dir, "bench", "bench_fleet"),
          check_fleet),
     ]

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "tensor/gemm.hpp"
 #include "util/parallel.hpp"
 
@@ -51,11 +52,26 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   Tensor cols(Shape{n, cr * cc});
   Tensor y(Shape{n, out_ch_, oh, ow});
   // Eval-mode forwards may run concurrently (parallel test-set batches), so
-  // the clamped-weight cache member is only written on the single-threaded
-  // training path; eval uses a call-local buffer.
+  // the clamped-weight cache member and the packed panel member are only
+  // written on the single-threaded training path; eval uses call-locals.
   Tensor local_eff;
   const Tensor& we =
       effective_weights(fwd_view_, train ? fwd_eff_ : local_eff);
+
+  // Fused path: pack the effective-weight panel once, reuse it across every
+  // sample's GEMM (the old path re-read — and the packed kernel would have
+  // re-packed — We per sample). Packing does not change the per-sample
+  // arithmetic: multiply() performs exactly gemm()'s FP operations, and a
+  // non-finite effective weight (diverged or full-scale-stuck cell) still
+  // reaches C as 0 * NaN/Inf = NaN — the products are always issued, so the
+  // ZeroSkipGate contract (sparsity must never mask NaN/Inf) holds by
+  // construction.
+  GemmAPack local_pack;
+  GemmAPack& wpack = train ? fwd_pack_ : local_pack;
+  wpack.pack(out_ch_, cr, 1.0f, StridedOperand{we.data(), cr, 1});
+  // Fused multiplies bypass gemm()'s counters; account for them here so
+  // the flops trajectory stays complete.
+  telemetry::count("nn.conv.fused_flops", 2ull * out_ch_ * cc * cr * n);
 
   // Samples are independent (disjoint cols/y slices, no reduction), so the
   // batch loop parallelizes without any change to per-sample arithmetic.
@@ -64,8 +80,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
       float* col = cols.data() + i * cr * cc;
       im2col(x.data() + i * in_ch_ * g.height * g.width, g, col);
       // y_i = We (out x cr) * col (cr x cc)
-      gemm(false, false, out_ch_, cc, cr, 1.0f, we.data(), cr, col, cc, 0.0f,
-           y.data() + i * out_ch_ * cc, cc);
+      wpack.multiply(cc, col, cc, 0.0f, y.data() + i * out_ch_ * cc, cc);
       // Bias broadcast over spatial positions.
       for (std::size_t o = 0; o < out_ch_; ++o) {
         float* plane = y.data() + (i * out_ch_ + o) * cc;
@@ -95,6 +110,10 @@ Tensor Conv2d::backward(const Tensor& dy) {
   // MVMs (forward y = W*x, backward dx = W^T*dy) traverse faulty crossbars.
   Tensor dx(Shape{n, in_ch_, g.height, g.width});
   const Tensor& wb = effective_weights(bwd_view_, bwd_eff_);
+  // Fused path: pack We_bwd^T once (strides express the transpose — no
+  // transposed copy is ever materialized) and reuse across all samples.
+  bwd_pack_.pack(cr, out_ch_, 1.0f, StridedOperand{wb.data(), 1, cr});
+  telemetry::count("nn.conv.fused_flops", 2ull * cr * cc * out_ch_ * n);
 
   // dW/db accumulate across samples — a reduction. Each block of samples
   // sums into its own scratch, and the scratches are merged in block-index
@@ -116,12 +135,13 @@ Tensor Conv2d::backward(const Tensor& dy) {
     for (std::size_t i = s0; i < s1; ++i) {
       const float* dyi = dy.data() + i * out_ch_ * cc;
       const float* col = last_cols_.data() + i * cr * cc;
-      // dW_blk += dy_i (out x cc) * col^T (cc x cr)
+      // dW_blk += dy_i (out x cc) * col^T (cc x cr); dy_i differs per
+      // sample, so this one goes through gemm (whose packing layer absorbs
+      // the col^T transpose without a copy).
       gemm(false, true, out_ch_, cr, cc, 1.0f, dyi, cc, col, cc, 1.0f,
            dw.data(), cr);
-      // dcol = We_bwd^T (cr x out) * dy_i (out x cc)
-      gemm(true, false, cr, cc, out_ch_, 1.0f, wb.data(), cr, dyi, cc, 0.0f,
-           dcol.data(), cc);
+      // dcol = We_bwd^T (cr x out) * dy_i (out x cc) — shared packed panel.
+      bwd_pack_.multiply(cc, dyi, cc, 0.0f, dcol.data(), cc);
       col2im(dcol.data(), g, dx.data() + i * in_ch_ * g.height * g.width);
       // db_blk += sum over spatial.
       for (std::size_t o = 0; o < out_ch_; ++o) {

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "nn/layer.hpp"
+#include "tensor/gemm_kernel.hpp"
 #include "tensor/im2col.hpp"
 
 namespace remapd {
@@ -50,6 +51,14 @@ class Conv2d final : public Layer, public FaultableLayer {
 
   std::optional<FaultView> fwd_view_, bwd_view_;
   mutable Tensor fwd_eff_, bwd_eff_;  // clamped-weight caches
+
+  // Fused-path weight panels: the effective-weight (forward) and
+  // effective-weight-transpose (backward) matrices are packed ONCE per
+  // layer call and reused across every sample's GEMM, instead of re-reading
+  // (and re-packing) the weight matrix per sample. Members are only touched
+  // on the training path — eval forwards may run concurrently, so they pack
+  // into a call-local panel (mirroring the fwd_eff_ cache rule).
+  GemmAPack fwd_pack_, bwd_pack_;
 
   // Saved for backward.
   Tensor last_cols_;  ///< im2col buffers, shape {N, col_rows*col_cols}

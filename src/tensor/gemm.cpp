@@ -1,11 +1,9 @@
 #include "tensor/gemm.hpp"
 
-#include <atomic>
-#include <cmath>
 #include <stdexcept>
-#include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "tensor/gemm_kernel.hpp"
 #include "util/parallel.hpp"
 
 namespace remapd {
@@ -29,97 +27,6 @@ GemmTelemetry& gemm_telemetry() {
   return t;
 }
 
-// Cache-blocked kernel for the common non-transposed case. Block sizes are
-// tuned for L1 residency of the B panel on a typical x86 core.
-constexpr std::size_t kBlockM = 32;
-constexpr std::size_t kBlockN = 64;
-constexpr std::size_t kBlockK = 64;
-
-bool panel_all_finite(const float* b, std::size_t k, std::size_t n,
-                      std::size_t ldb) {
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* brow = b + p * ldb;
-    for (std::size_t j = 0; j < n; ++j)
-      if (!std::isfinite(brow[j])) return false;
-  }
-  return true;
-}
-
-// Lazily resolved gate for the zero-A skip. Zero entries of A may only
-// short-circuit the B row when B is known finite: 0 * NaN/Inf must stay NaN
-// (a diverging activation or a full-scale stuck weight must surface, not be
-// masked by sparsity). The O(k*n) panel scan is wasted when A has no zeros
-// — which rivals the multiply itself for skinny GEMMs — so it runs only
-// when a zero entry is first encountered. The verdict is a pure function of
-// B (constant for the call), so concurrent row-blocks may race to compute
-// it; every racer stores the same value and the skip decision is identical
-// at any thread count.
-class ZeroSkipGate {
- public:
-  ZeroSkipGate(const float* b, std::size_t k, std::size_t n, std::size_t ldb)
-      : b_(b), k_(k), n_(n), ldb_(ldb) {}
-
-  /// True iff the zero-A skip is safe (B panel all finite).
-  bool allowed() {
-    int s = state_.load(std::memory_order_relaxed);
-    if (s == kUnknown) {
-      s = panel_all_finite(b_, k_, n_, ldb_) ? kFinite : kNonFinite;
-      state_.store(s, std::memory_order_relaxed);
-    }
-    return s == kFinite;
-  }
-
- private:
-  static constexpr int kUnknown = 0, kFinite = 1, kNonFinite = 2;
-  const float* b_;
-  std::size_t k_, n_, ldb_;
-  std::atomic<int> state_{kUnknown};
-};
-
-// Kernel over the row range [r0, r1) of C. Per-row update order (the p then
-// j block walk) is independent of the row partition, so splitting rows
-// across threads leaves every row's FP summation order unchanged.
-void gemm_nn_rows(std::size_t r0, std::size_t r1, std::size_t n,
-                  std::size_t k, float alpha, const float* a, std::size_t lda,
-                  const float* b, std::size_t ldb, float* c, std::size_t ldc,
-                  ZeroSkipGate& gate) {
-  int skip = 0;  // local cache of the gate verdict; 0 = not yet consulted
-  for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
-    const std::size_t i1 = std::min(i0 + kBlockM, r1);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::size_t p1 = std::min(p0 + kBlockK, k);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::size_t j1 = std::min(j0 + kBlockN, n);
-        for (std::size_t i = i0; i < i1; ++i) {
-          for (std::size_t p = p0; p < p1; ++p) {
-            const float aval = alpha * a[i * lda + p];
-            if (aval == 0.0f) {
-              if (skip == 0) skip = gate.allowed() ? 1 : 2;
-              if (skip == 1) continue;
-            }
-            const float* brow = b + p * ldb;
-            float* crow = c + i * ldc;
-            for (std::size_t j = j0; j < j1; ++j) crow[j] += aval * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, std::size_t lda, const float* b, std::size_t ldb,
-             float* c, std::size_t ldc) {
-  ZeroSkipGate gate(b, k, n, ldb);
-  // Row-partitioned: each block owns a disjoint set of C rows, so there is
-  // no reduction and per-row arithmetic is bitwise identical at any thread
-  // count. Grain = kBlockM keeps the i-blocking aligned with the serial
-  // kernel's walk.
-  parallel_for(0, m, kBlockM, [&](std::size_t r0, std::size_t r1) {
-    gemm_nn_rows(r0, r1, n, k, alpha, a, lda, b, ldb, c, ldc, gate);
-  });
-}
-
 }  // namespace
 
 void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
@@ -128,47 +35,33 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t ldc) {
   GemmTelemetry& telem = gemm_telemetry();
   telemetry::KernelTimer timer(telem.calls, telem.ns);
-  if (telemetry::enabled()) telem.flops.add(2ull * m * n * k);
 
-  // Scale / clear C first.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
-
-  if (!trans_a && !trans_b) {
-    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    // No products are issued — only the beta scale/clear runs (and no
+    // flops are recorded: telemetry counts multiplies actually performed,
+    // so degenerate calls cannot inflate GFLOP/s).
+    parallel_for(0, m, kMC, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        float* crow = c + i * ldc;
+        if (beta == 0.0f) {
+          for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+        } else if (beta != 1.0f) {
+          for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
+      }
+    });
     return;
   }
+  if (telemetry::enabled()) telem.flops.add(2ull * m * n * k);
 
-  // Transposed variants: materialize the transposed operand once. The model
-  // zoo calls these on modest shapes (weight-gradient GEMMs), so the copy is
-  // cheap relative to the multiply.
-  std::vector<float> abuf, bbuf;
-  const float* ap = a;
-  std::size_t alda = lda;
-  if (trans_a) {
-    abuf.resize(m * k);
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t p = 0; p < k; ++p) abuf[i * k + p] = a[p * lda + i];
-    ap = abuf.data();
-    alda = k;
-  }
-  const float* bp = b;
-  std::size_t bldb = ldb;
-  if (trans_b) {
-    bbuf.resize(k * n);
-    for (std::size_t p = 0; p < k; ++p)
-      for (std::size_t j = 0; j < n; ++j) bbuf[p * n + j] = b[j * ldb + p];
-    bp = bbuf.data();
-    bldb = n;
-  }
-  gemm_nn(m, n, k, alpha, ap, alda, bp, bldb, c, ldc);
+  // Transposes are absorbed by the packing layer as operand strides — the
+  // NT/TN/TT paths never materialize a transposed copy.
+  const StridedOperand opa =
+      trans_a ? StridedOperand{a, 1, lda} : StridedOperand{a, lda, 1};
+  const StridedOperand opb =
+      trans_b ? StridedOperand{b, 1, ldb} : StridedOperand{b, ldb, 1};
+  gemm_packed(m, n, k, alpha, opa, opb, beta, c, ldc);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

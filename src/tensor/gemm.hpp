@@ -1,7 +1,9 @@
-// General matrix multiply kernels. A blocked scalar kernel is enough for the
-// scaled-down CNN workloads of this reproduction (single CPU core); the
-// interface mirrors BLAS sgemm semantics so a faster backend could be
-// dropped in.
+// General matrix multiply: BLAS sgemm semantics over the packed SIMD
+// micro-kernel layer (tensor/gemm_kernel.hpp). Transposed operands are
+// absorbed by the packing layer (no transpose copies); alpha == 0 / k == 0
+// degenerate calls only apply the beta scale and record zero flops. The
+// per-C-row floating-point accumulation order is a pure function of the
+// problem shape, so results are bitwise identical at any REMAPD_THREADS.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,269 @@
+#include "tensor/gemm_kernel.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "util/parallel.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define REMAPD_GEMM_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace remapd {
+namespace {
+
+std::atomic<std::uint64_t> g_scratch_allocs{0};
+
+// Grow-only scratch arena: one per thread (workers persist across calls, so
+// thread_local buffers amortize to zero allocations in steady state).
+struct Arena {
+  std::vector<float> buf;
+  float* ensure(std::size_t n) {
+    if (buf.size() < n) {
+      buf.resize(n);
+      g_scratch_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    return buf.data();
+  }
+};
+thread_local Arena t_apack_arena;
+thread_local Arena t_bpack_arena;
+
+constexpr std::size_t kTile = kMR * kNR;
+
+// ---------------------------------------------------------------------------
+// Micro-kernels: full kMR x kNR tile over one packed depth chunk, written to
+// an aligned tile buffer (the merge step handles tails and C update). The
+// per-lane accumulation is strictly ascending in k, so every C element's FP
+// order is independent of tiling, partitioning, and thread count.
+// ---------------------------------------------------------------------------
+
+using MicroFn = void (*)(std::size_t kc, const float* ap, const float* bp,
+                         float* tile);
+
+void micro_portable(std::size_t kc, const float* ap, const float* bp,
+                    float* tile) {
+  float acc[kTile] = {0.0f};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNR;
+    const float* arow = ap + p * kMR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = arow[r];
+      float* crow = acc + r * kNR;
+#pragma omp simd
+      for (std::size_t j = 0; j < kNR; ++j) crow[j] += av * brow[j];
+    }
+  }
+  std::memcpy(tile, acc, sizeof(acc));
+}
+
+#ifdef REMAPD_GEMM_X86_DISPATCH
+__attribute__((target("avx2,fma"))) void micro_avx2(std::size_t kc,
+                                                    const float* ap,
+                                                    const float* bp,
+                                                    float* tile) {
+  __m256 acc[kMR][2];
+  for (std::size_t r = 0; r < kMR; ++r)
+    acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNR);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNR + 8);
+    const float* arow = ap + p * kMR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(arow + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (std::size_t r = 0; r < kMR; ++r) {
+    _mm256_storeu_ps(tile + r * kNR, acc[r][0]);
+    _mm256_storeu_ps(tile + r * kNR + 8, acc[r][1]);
+  }
+}
+#endif
+
+struct MicroChoice {
+  MicroFn fn;
+  const char* name;
+};
+
+MicroChoice resolve_micro() {
+#ifdef REMAPD_GEMM_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return {micro_avx2, "avx2"};
+#endif
+  return {micro_portable, "portable"};
+}
+
+const MicroChoice& micro_choice() {
+  static const MicroChoice choice = resolve_micro();
+  return choice;
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Number of kMR strips covering m rows.
+inline std::size_t a_strips(std::size_t m) { return (m + kMR - 1) / kMR; }
+
+/// Pack alpha*op(A) for all depth chunks into `dst` (layout: chunk-major,
+/// then kMR strip, then [p * kMR + r]). Only strips intersecting
+/// [r0, r1) are written, so concurrent callers with disjoint kMR-aligned
+/// row ranges touch disjoint regions.
+void pack_a_rows(std::size_t r0, std::size_t r1, std::size_t m, std::size_t k,
+                 float alpha, StridedOperand a, float* dst) {
+  const std::size_t nstrips = a_strips(m);
+  for (std::size_t pc = 0; pc < k; pc += kKC) {
+    const std::size_t kc = std::min(kKC, k - pc);
+    for (std::size_t g = r0 / kMR; g * kMR < r1; ++g) {
+      float* strip = dst + nstrips * kMR * pc + g * kMR * kc;
+      const std::size_t rows = std::min(kMR, m - g * kMR);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* src = a.ptr + (g * kMR + r) * a.row_stride +
+                           pc * a.col_stride;
+        for (std::size_t p = 0; p < kc; ++p)
+          strip[p * kMR + r] = alpha * src[p * a.col_stride];
+      }
+      for (std::size_t r = rows; r < kMR; ++r)
+        for (std::size_t p = 0; p < kc; ++p) strip[p * kMR + r] = 0.0f;
+    }
+  }
+}
+
+/// Pack op(B)[pc:pc+kc, jc:jc+ncb] into kNR-wide strips ([p * kNR + lane],
+/// zero-padded lanes past ncb). Strip `s` is a disjoint region, so strips
+/// parallelize as copy-only blocks.
+void pack_b_strip(std::size_t s, std::size_t pc, std::size_t kc,
+                  std::size_t jc, std::size_t ncb, StridedOperand b,
+                  float* dst) {
+  float* strip = dst + s * kNR * kc;
+  const std::size_t j0 = s * kNR;
+  const std::size_t lanes = std::min(kNR, ncb - j0);
+  if (b.col_stride == 1) {
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* src = b.ptr + (pc + p) * b.row_stride + jc + j0;
+      float* out = strip + p * kNR;
+      for (std::size_t j = 0; j < lanes; ++j) out[j] = src[j];
+      for (std::size_t j = lanes; j < kNR; ++j) out[j] = 0.0f;
+    }
+  } else {
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* src = b.ptr + (pc + p) * b.row_stride +
+                         (jc + j0) * b.col_stride;
+      float* out = strip + p * kNR;
+      for (std::size_t j = 0; j < lanes; ++j) out[j] = src[j * b.col_stride];
+      for (std::size_t j = lanes; j < kNR; ++j) out[j] = 0.0f;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Scale rows [r0, r1) x cols [j0, j1) of C by beta. beta == 0 stores zeros
+/// without reading (BLAS semantics: C may hold NaN/garbage).
+void scale_c(float beta, float* c, std::size_t ldc, std::size_t r0,
+             std::size_t r1, std::size_t j0, std::size_t j1) {
+  if (beta == 1.0f) return;
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      for (std::size_t j = j0; j < j1; ++j) crow[j] = 0.0f;
+    } else {
+      for (std::size_t j = j0; j < j1; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+/// Merge a full micro-tile's valid rows x cols region into C.
+void merge_tile(const float* tile, float* c, std::size_t ldc,
+                std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    const float* trow = tile + r * kNR;
+#pragma omp simd
+    for (std::size_t j = 0; j < cols; ++j) crow[j] += trow[j];
+  }
+}
+
+/// Shared compute stage over pre-packed A panels: the jc/pc panel loops,
+/// per-chunk B packing, and the row-partitioned tile sweep (which also
+/// applies beta to its own rows at the first depth chunk).
+void compute_packed(std::size_t m, std::size_t n, std::size_t k,
+                    const float* apanels, StridedOperand b, float beta,
+                    float* c, std::size_t ldc) {
+  const MicroFn micro = micro_choice().fn;
+  const std::size_t nstrips_a = a_strips(m);
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t ncb = std::min(kNC, n - jc);
+    const std::size_t nstrips_b = (ncb + kNR - 1) / kNR;
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      float* bpack = t_bpack_arena.ensure(nstrips_b * kNR * kc);
+      parallel_for(0, nstrips_b, 1, [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t s = s0; s < s1; ++s)
+          pack_b_strip(s, pc, kc, jc, ncb, b, bpack);
+      });
+      parallel_for(0, m, kMC, [&](std::size_t r0, std::size_t r1) {
+        // Each block applies beta to its own C rows right before its first
+        // accumulation — no serial pre-scale pass, per-row order unchanged.
+        if (pc == 0) scale_c(beta, c, ldc, r0, r1, jc, jc + ncb);
+        alignas(32) float tile[kTile];
+        for (std::size_t jr = 0; jr < ncb; jr += kNR) {
+          const std::size_t cols = std::min(kNR, ncb - jr);
+          const float* bp = bpack + (jr / kNR) * kNR * kc;
+          for (std::size_t ir = r0; ir < r1; ir += kMR) {
+            const std::size_t rows = std::min(kMR, r1 - ir);
+            const float* ap = apanels + nstrips_a * kMR * pc +
+                              (ir / kMR) * kMR * kc;
+            micro(kc, ap, bp, tile);
+            merge_tile(tile, c + ir * ldc + jc + jr, ldc, rows, cols);
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 StridedOperand a, StridedOperand b, float beta, float* c,
+                 std::size_t ldc) {
+  float* apanels = t_apack_arena.ensure(a_strips(m) * kMR * k);
+  parallel_for(0, m, kMC, [&](std::size_t r0, std::size_t r1) {
+    pack_a_rows(r0, r1, m, k, alpha, a, apanels);
+  });
+  compute_packed(m, n, k, apanels, b, beta, c, ldc);
+}
+
+void GemmAPack::pack(std::size_t m, std::size_t k, float alpha,
+                     StridedOperand a) {
+  m_ = m;
+  k_ = k;
+  const std::size_t needed = a_strips(m) * kMR * k;
+  if (needed > panels_.capacity())
+    g_scratch_allocs.fetch_add(1, std::memory_order_relaxed);
+  panels_.resize(needed);
+  float* dst = panels_.data();
+  parallel_for(0, m, kMC, [&](std::size_t r0, std::size_t r1) {
+    pack_a_rows(r0, r1, m, k, alpha, a, dst);
+  });
+}
+
+void GemmAPack::multiply(std::size_t n, const float* b, std::size_t ldb,
+                         float beta, float* c, std::size_t ldc) const {
+  compute_packed(m_, n, k_, panels_.data(), StridedOperand{b, ldb, 1}, beta,
+                 c, ldc);
+}
+
+std::uint64_t gemm_scratch_allocations() {
+  return g_scratch_allocs.load(std::memory_order_relaxed);
+}
+
+const char* gemm_kernel_name() { return micro_choice().name; }
+
+}  // namespace remapd

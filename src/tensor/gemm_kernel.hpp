@@ -1,0 +1,112 @@
+// Packed, cache-blocked GEMM micro-kernel layer.
+//
+// The compute core is a classic three-level blocking (BLIS-style):
+//
+//   for jc in N step kNC:                 // B panel column block
+//     for pc in K step kKC:               // depth block (L2-resident panels)
+//       pack B[pc:pc+kc, jc:jc+nc] into kNR-wide strips      (shared)
+//       parallel_for row blocks of kMC rows:                  (disjoint C rows)
+//         pack alpha*op(A)[rows, pc:pc+kc] into kMR strips    (per worker)
+//         for jr strips: for ir strips:
+//           micro-kernel: kMR x kNR register tile over the packed strips
+//
+// The micro-kernel accumulates a full kMR x kNR tile in registers over the
+// kc depth chunk and merges it into C afterwards. Per C element the
+// floating-point order is therefore
+//
+//   C(i,j) = ((beta*C(i,j) + chunk_0) + chunk_1) + ... ,
+//   chunk_t = sum over k in [t*kKC, (t+1)*kKC) in ascending-k order,
+//
+// which depends only on (m, n, k, beta) — never on the thread count, the
+// row partition, or which strip a row lands in (every element owns a
+// private accumulator lane). That preserves the PR-3 contract: any
+// REMAPD_THREADS value is bitwise identical, checkpoints resume exactly.
+//
+// Transposed operands are handled by the packing layer (an operand is a
+// pointer plus row/col strides), so NT/TN/TT never materialize a
+// transposed copy. Scratch panels live in grow-only thread-local arenas;
+// steady-state calls perform no heap allocation (see scratch_allocations()).
+//
+// Two micro-kernel implementations sit behind one function pointer chosen
+// at process start: an AVX2+FMA intrinsics kernel (x86-64, runtime
+// __builtin_cpu_supports dispatch, no special build flags needed) and a
+// portable `#pragma omp simd` kernel. The choice is per-process, so it
+// cannot vary with thread count; results may differ across machines (as
+// compiler flags already allow) but never across runs on one machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace remapd {
+
+// Register tile and cache-block geometry. kMR x kNR is the micro-tile
+// (6 rows x 16 columns = 12 YMM accumulators + 2 B vectors + 1 A broadcast
+// on AVX2). kMC/kKC size the packed A block (~48 KiB) and kNC the packed B
+// panel for L2 residency.
+inline constexpr std::size_t kMR = 6;
+inline constexpr std::size_t kNR = 16;
+inline constexpr std::size_t kMC = 48;   // row-partition grain, multiple of kMR
+inline constexpr std::size_t kKC = 256;  // depth chunk
+inline constexpr std::size_t kNC = 1024; // column panel, multiple of kNR
+
+/// A matrix operand as the packing layer sees it: element (i, j) of op(X)
+/// lives at ptr[i * row_stride + j * col_stride]. A plain row-major matrix
+/// is {ptr, ld, 1}; its transpose is {ptr, 1, ld} — no copy needed.
+struct StridedOperand {
+  const float* ptr;
+  std::size_t row_stride;
+  std::size_t col_stride;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C over strided operands, C row-major
+/// m x n with leading dimension ldc. beta == 0 never reads C (NaN/garbage
+/// in C is overwritten, BLAS semantics). The beta scale/clear is folded
+/// into the row-partitioned region: each block scales its own C rows right
+/// before accumulating its first depth chunk, so no serial pre-pass runs.
+/// Requires alpha != 0 and m, n, k > 0 (the gemm() wrapper handles the
+/// degenerate cases).
+void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 StridedOperand a, StridedOperand b, float beta, float* c,
+                 std::size_t ldc);
+
+/// Reusable packed-A panels for the fused convolution path: pack the
+/// (effective-weight) matrix once per layer call, then run many
+/// C_i = packed_A * B_i multiplies against per-sample B operands. The
+/// packed panels are immutable after pack(), so multiply() is const and
+/// safe to call concurrently from the per-sample parallel loop (per-call
+/// scratch is thread-local). multiply() performs the exact arithmetic of
+/// gemm_packed with the same shapes — fused and unfused paths agree
+/// bitwise.
+class GemmAPack {
+ public:
+  /// Pack alpha * op(A) (m x k). Reuses the panel buffer's capacity, so
+  /// repeated packs of the same geometry do not allocate.
+  void pack(std::size_t m, std::size_t k, float alpha, StridedOperand a);
+
+  /// C = packed_A * B + beta * C; B is k x n row-major with leading
+  /// dimension ldb. Requires pack() first.
+  void multiply(std::size_t n, const float* b, std::size_t ldb, float beta,
+                float* c, std::size_t ldc) const;
+
+  [[nodiscard]] std::size_t rows() const { return m_; }
+  [[nodiscard]] std::size_t depth() const { return k_; }
+
+ private:
+  std::size_t m_ = 0, k_ = 0;
+  std::vector<float> panels_;  // [pc chunk][kMR strip][p * kMR + r]
+};
+
+/// Process-wide count of scratch-arena growths (heap allocations) made by
+/// the packing layer. Steady-state GEMM calls — including NT/TN, which
+/// previously materialized fresh transpose buffers per call — must leave
+/// this flat; tests assert on it.
+std::uint64_t gemm_scratch_allocations();
+
+/// Name of the micro-kernel implementation selected at startup ("avx2" or
+/// "portable") — surfaced in bench JSON records so a perf trajectory is
+/// interpretable across machines.
+const char* gemm_kernel_name();
+
+}  // namespace remapd

@@ -1,5 +1,8 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "telemetry/telemetry.hpp"
 
 namespace remapd {
@@ -45,6 +48,23 @@ void im2col(const float* img, const ConvGeom& g, float* col) {
           }
           const float* src =
               img + (c * g.height + static_cast<std::size_t>(iy)) * g.width;
+          if (g.stride == 1) {
+            // Unit stride: the valid x range maps to one contiguous source
+            // slice [x0, x1); memcpy it and zero-fill the pad edges.
+            const long off = static_cast<long>(kw) - static_cast<long>(g.pad);
+            const std::size_t x0 = static_cast<std::size_t>(
+                std::max<long>(0, -off));
+            const std::size_t x1 = static_cast<std::size_t>(std::max<long>(
+                0, std::min<long>(static_cast<long>(ow),
+                                  static_cast<long>(g.width) - off)));
+            float* drow = dst + y * ow;
+            for (std::size_t x = 0; x < x0; ++x) drow[x] = 0.0f;
+            if (x1 > x0)
+              std::memcpy(drow + x0, src + static_cast<std::size_t>(off) + x0,
+                          (x1 - x0) * sizeof(float));
+            for (std::size_t x = x1; x < ow; ++x) drow[x] = 0.0f;
+            continue;
+          }
           for (std::size_t x = 0; x < ow; ++x) {
             const long ix = static_cast<long>(x * g.stride + kw) -
                             static_cast<long>(g.pad);

@@ -61,6 +61,18 @@ inline std::size_t reduction_grain(std::size_t range,
   return std::max<std::size_t>(1, (range + max_blocks - 1) / max_blocks);
 }
 
+/// Round `grain` up to a multiple of `tile` (>= tile). Kernels whose block
+/// bodies walk fixed-size register tiles use this so every parallel block
+/// starts on a tile boundary: the tile decomposition of the range is then
+/// identical to the serial walk's, independent of how blocks are assigned
+/// to threads. Like reduction_grain, the result must never be derived from
+/// the thread count.
+inline std::size_t aligned_grain(std::size_t grain, std::size_t tile) {
+  if (tile == 0) tile = 1;
+  if (grain == 0) grain = 1;
+  return (grain + tile - 1) / tile * tile;
+}
+
 /// Run `body(block_begin, block_end, block_index)` for every block of the
 /// partition of [begin, end) into `grain`-sized blocks. Blocks may execute
 /// concurrently and in any order; each executes exactly once. Exceptions

@@ -1,0 +1,338 @@
+// Tests for the packed SIMD GEMM micro-kernel layer (tensor/gemm_kernel):
+// golden values vs a double-precision reference triple loop across
+// NN/NT/TN/TT and tile-boundary shapes, BLAS beta/alpha semantics, the
+// NaN/Inf zero-skip contract (sparsity must never mask non-finite
+// operands), bitwise 1-vs-4-thread determinism, fused-vs-unfused bitwise
+// agreement, allocation-free steady state for the transposed paths (which
+// previously materialized fresh transpose buffers per call), and the flops
+// telemetry regression (degenerate calls must record zero flops).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "telemetry/telemetry.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace remapd {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Scoped thread-count override (mirrors test_parallel.cpp).
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) : old_(parallel_threads()) {
+    set_parallel_threads(n);
+  }
+  ~ThreadGuard() { set_parallel_threads(old_); }
+
+ private:
+  std::size_t old_;
+};
+
+/// Reference: C = alpha * op(A) * op(B) + beta * C with double accumulation,
+/// strictly the mathematical definition (no blocking, no skipping).
+void ref_gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k,
+              float alpha, const float* a, std::size_t lda, const float* b,
+              std::size_t ldb, float beta, float* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * lda + i] : a[i * lda + p];
+        const float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        s += static_cast<double>(av) * bv;
+      }
+      const double base = beta == 0.0f ? 0.0 : beta * c[i * ldc + j];
+      c[i * ldc + j] = static_cast<float>(base + alpha * s);
+    }
+}
+
+Tensor random_matrix(std::size_t r, std::size_t cdim, Rng& rng) {
+  return Tensor::randn(Shape{r, cdim}, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Golden values vs the reference triple loop
+// ---------------------------------------------------------------------------
+
+TEST(GemmKernel, GoldenSweepAllTransposesAndTailShapes) {
+  // Sizes straddle every tile boundary: micro-tile (kMR=6, kNR=16), the
+  // row-partition grain (kMC=48), and skinny/tail shapes.
+  const std::size_t sizes[] = {1, 3, 6, 7, 15, 16, 17, 47, 48, 49, 100};
+  Rng rng(2025);
+  for (const std::size_t m : sizes)
+    for (const std::size_t n : sizes)
+      for (const std::size_t k : sizes)
+        for (int t = 0; t < 4; ++t) {
+          const bool ta = t & 2, tb = t & 1;
+          const Tensor a =
+              random_matrix(ta ? k : m, ta ? m : k, rng);
+          const Tensor b =
+              random_matrix(tb ? n : k, tb ? k : n, rng);
+          const Tensor c = matmul(a, ta, b, tb);
+          std::vector<float> ref(m * n, 0.0f);
+          ref_gemm(ta, tb, m, n, k, 1.0f, a.data(), a.shape()[1], b.data(),
+                   b.shape()[1], 0.0f, ref.data(), n);
+          for (std::size_t e = 0; e < m * n; ++e)
+            ASSERT_NEAR(c[e], ref[e], 2e-4 * (std::abs(ref[e]) + 1.0))
+                << "m=" << m << " n=" << n << " k=" << k << " ta=" << ta
+                << " tb=" << tb << " e=" << e;
+        }
+}
+
+TEST(GemmKernel, AlphaBetaSemantics) {
+  Rng rng(7);
+  const std::size_t m = 13, n = 21, k = 35;
+  const Tensor a = random_matrix(m, k, rng);
+  const Tensor b = random_matrix(k, n, rng);
+  for (const float alpha : {1.0f, 2.5f, -0.75f})
+    for (const float beta : {0.0f, 1.0f, 0.5f}) {
+      std::vector<float> c(m * n), ref(m * n);
+      for (std::size_t e = 0; e < m * n; ++e) c[e] = ref[e] = 0.125f * e;
+      gemm(false, false, m, n, k, alpha, a.data(), k, b.data(), n, beta,
+           c.data(), n);
+      ref_gemm(false, false, m, n, k, alpha, a.data(), k, b.data(), n, beta,
+               ref.data(), n);
+      for (std::size_t e = 0; e < m * n; ++e)
+        ASSERT_NEAR(c[e], ref[e], 2e-4 * (std::abs(ref[e]) + 1.0))
+            << "alpha=" << alpha << " beta=" << beta << " e=" << e;
+    }
+}
+
+TEST(GemmKernel, BetaZeroOverwritesNaNWithoutReadingC) {
+  // BLAS semantics: beta == 0 must store, not accumulate — C may hold NaN
+  // or garbage from an uninitialized buffer.
+  Rng rng(9);
+  const Tensor a = random_matrix(5, 4, rng);
+  const Tensor b = random_matrix(4, 3, rng);
+  std::vector<float> c(5 * 3, kNaN);
+  gemm(false, false, 5, 3, 4, 1.0f, a.data(), 4, b.data(), 3, 0.0f, c.data(),
+       3);
+  for (const float v : c) EXPECT_TRUE(std::isfinite(v));
+
+  // Degenerate k == 0 and alpha == 0 also clear under beta == 0.
+  std::fill(c.begin(), c.end(), kNaN);
+  gemm(false, false, 5, 3, 0, 1.0f, a.data(), 4, b.data(), 3, 0.0f, c.data(),
+       3);
+  for (const float v : c) EXPECT_EQ(v, 0.0f);
+  std::fill(c.begin(), c.end(), kNaN);
+  gemm(false, false, 5, 3, 4, 0.0f, a.data(), 4, b.data(), 3, 0.0f, c.data(),
+       3);
+  for (const float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// NaN/Inf zero-skip contract
+// ---------------------------------------------------------------------------
+
+TEST(GemmKernel, ZeroAEntriesNeverMaskNonFiniteB) {
+  // Every product is issued: a zero A entry against NaN/Inf in B must
+  // surface as NaN (0 * NaN = 0 * Inf = NaN), at every tile position —
+  // including column tails past kNR and row tails past kMR.
+  const std::size_t m = 8, n = 19, k = 5;
+  Tensor a = Tensor::zeros(Shape{m, k});
+  Tensor b = Tensor::zeros(Shape{k, n});
+  b.at(2, 0) = kNaN;
+  b.at(3, 17) = kInf;  // column-tail lane
+  const Tensor c = matmul(a, b);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(c.at(i, 0))) << i;
+    EXPECT_TRUE(std::isnan(c.at(i, 17))) << i;
+    EXPECT_EQ(c.at(i, 5), 0.0f) << i;  // finite columns stay clean
+  }
+}
+
+TEST(GemmKernel, NonFiniteAPropagatesThroughZeroB) {
+  const std::size_t m = 7, n = 4, k = 6;
+  Tensor a = Tensor::zeros(Shape{m, k});
+  Tensor b = Tensor::zeros(Shape{k, n});
+  a.at(6, 1) = kInf;  // row-tail strip
+  const Tensor c = matmul(a, b);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_TRUE(std::isnan(c.at(6, j))) << j;  // Inf * 0 = NaN
+  for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(c.at(0, j), 0.0f);
+}
+
+TEST(GemmKernel, AlphaZeroIssuesNoProductsSoNaNStaysOut) {
+  // alpha == 0 short-circuits before any multiply: non-finite operands must
+  // NOT reach C (only the beta scale runs) — the BLAS degenerate contract.
+  Tensor a = Tensor::zeros(Shape{3, 3});
+  Tensor b = Tensor::zeros(Shape{3, 3});
+  a.fill(kNaN);
+  b.fill(kInf);
+  std::vector<float> c(9, 2.0f);
+  gemm(false, false, 3, 3, 3, 0.0f, a.data(), 3, b.data(), 3, 0.5f, c.data(),
+       3);
+  for (const float v : c) EXPECT_EQ(v, 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance and fused-vs-unfused agreement
+// ---------------------------------------------------------------------------
+
+TEST(GemmKernel, BitwiseThreadInvarianceAcrossTransposes) {
+  Rng rng(41);
+  const std::size_t m = 53, n = 37, k = 61;  // nothing tile-aligned
+  for (int t = 0; t < 4; ++t) {
+    const bool ta = t & 2, tb = t & 1;
+    const Tensor a = random_matrix(ta ? k : m, ta ? m : k, rng);
+    const Tensor b = random_matrix(tb ? n : k, tb ? k : n, rng);
+    Tensor c1, c4;
+    {
+      ThreadGuard guard(1);
+      c1 = matmul(a, ta, b, tb);
+    }
+    {
+      ThreadGuard guard(4);
+      c4 = matmul(a, ta, b, tb);
+    }
+    ASSERT_EQ(0, std::memcmp(c1.data(), c4.data(), m * n * sizeof(float)))
+        << "ta=" << ta << " tb=" << tb;
+  }
+}
+
+TEST(GemmKernel, FusedPackMatchesGemmBitwise) {
+  // GemmAPack::multiply must perform exactly gemm()'s arithmetic: the fused
+  // conv path and the plain path agree bitwise, so serving/migration CSV
+  // stability cannot depend on which path a layer took.
+  Rng rng(43);
+  const std::size_t m = 32, n = 100, k = 27;
+  const Tensor a = random_matrix(m, k, rng);
+  const Tensor b = random_matrix(k, n, rng);
+  const Tensor via_gemm = matmul(a, b);
+
+  GemmAPack pack;
+  pack.pack(m, k, 1.0f, StridedOperand{a.data(), k, 1});
+  Tensor via_pack(Shape{m, n});
+  pack.multiply(n, b.data(), n, 0.0f, via_pack.data(), n);
+  EXPECT_EQ(0,
+            std::memcmp(via_gemm.data(), via_pack.data(),
+                        m * n * sizeof(float)));
+
+  // Same for a transposed panel (the conv backward path packs We^T via
+  // strides): A^T * B' must match gemm(true, false, ...) bitwise.
+  GemmAPack tpack;
+  tpack.pack(k, m, 1.0f, StridedOperand{a.data(), 1, k});
+  Tensor bprime(Shape{m, 16});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < 16; ++j)
+      bprime[i * 16 + j] = via_gemm[i * n + j];
+  Tensor from_pack(Shape{k, 16});
+  tpack.multiply(16, bprime.data(), 16, 0.0f, from_pack.data(), 16);
+  Tensor from_gemm(Shape{k, 16});
+  gemm(true, false, k, 16, m, 1.0f, a.data(), k, bprime.data(), 16, 0.0f,
+       from_gemm.data(), 16);
+  EXPECT_EQ(0,
+            std::memcmp(from_pack.data(), from_gemm.data(),
+                        k * 16 * sizeof(float)));
+}
+
+TEST(GemmKernel, FusedConvForwardPropagatesNonFiniteWeights) {
+  // The fused forward packs the effective weights once; a diverged (NaN)
+  // or full-scale-stuck (Inf-ish) weight must still poison its output
+  // plane even when the input patch is all zero — 0 * NaN = NaN.
+  Rng rng(3);
+  Conv2d conv(1, 2, 1, 1, 0, rng);
+  conv.weight_param().value[0] = kNaN;
+  conv.weight_param().value[1] = 0.5f;
+  const Tensor x = Tensor::zeros(Shape{1, 1, 3, 3});
+  for (const bool train : {true, false}) {
+    const Tensor y = conv.forward(x, train);
+    for (std::size_t p = 0; p < 9; ++p) {
+      EXPECT_TRUE(std::isnan(y[p])) << "train=" << train << " p=" << p;
+      EXPECT_EQ(y[9 + p], 0.0f) << "train=" << train << " p=" << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free steady state (NT/TN previously heap-allocated per call)
+// ---------------------------------------------------------------------------
+
+TEST(GemmKernel, TransposedPathsDoNotAllocateInSteadyState) {
+  ThreadGuard guard(1);  // one thread -> one deterministic set of arenas
+  Rng rng(17);
+  const std::size_t m = 32, n = 576, k = 100;
+  const Tensor a = random_matrix(m, k, rng);      // NT: dy * col^T shape
+  const Tensor bt = random_matrix(n, k, rng);     // operand stored n x k
+  const Tensor at = random_matrix(k, m, rng);     // TN operand
+  const Tensor b = random_matrix(k, n, rng);
+  Tensor c(Shape{m, n});
+  const auto call_both = [&] {
+    gemm(false, true, m, n, k, 1.0f, a.data(), k, bt.data(), k, 1.0f,
+         c.data(), n);
+    gemm(true, false, m, n, k, 1.0f, at.data(), m, b.data(), n, 0.0f,
+         c.data(), n);
+  };
+  for (int i = 0; i < 3; ++i) call_both();  // warm the arenas
+  const std::uint64_t warm = gemm_scratch_allocations();
+  for (int i = 0; i < 50; ++i) call_both();
+  EXPECT_EQ(gemm_scratch_allocations(), warm)
+      << "NT/TN steady-state calls must reuse the packing arenas";
+
+  // Repacking the same-geometry panel must also be allocation-free.
+  GemmAPack pack;
+  pack.pack(m, k, 1.0f, StridedOperand{a.data(), k, 1});
+  const std::uint64_t after_pack = gemm_scratch_allocations();
+  for (int i = 0; i < 20; ++i)
+    pack.pack(m, k, 1.0f, StridedOperand{a.data(), k, 1});
+  EXPECT_EQ(gemm_scratch_allocations(), after_pack);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: flops telemetry must count only multiplies actually issued
+// ---------------------------------------------------------------------------
+
+TEST(GemmKernel, FlopsCountedOnlyForIssuedMultiplies) {
+  telemetry::set_enabled(true);
+  telemetry::Counter& flops =
+      telemetry::Registry::instance().counter("tensor.gemm.flops");
+  Rng rng(19);
+  const Tensor a = random_matrix(6, 5, rng);
+  const Tensor b = random_matrix(5, 4, rng);
+  Tensor c(Shape{6, 4});
+
+  const std::uint64_t before = flops.value();
+  // Degenerate calls: alpha == 0, k == 0, empty C — no multiplies, no flops
+  // (the old kernel recorded 2*m*n*k before its early return, inflating
+  // GFLOP/s in telemetry and BENCH_gemm.json).
+  gemm(false, false, 6, 4, 5, 0.0f, a.data(), 5, b.data(), 4, 0.5f, c.data(),
+       4);
+  gemm(false, false, 6, 4, 0, 1.0f, a.data(), 5, b.data(), 4, 1.0f, c.data(),
+       4);
+  gemm(false, false, 0, 4, 5, 1.0f, a.data(), 5, b.data(), 4, 0.0f, c.data(),
+       4);
+  gemm(false, false, 6, 0, 5, 1.0f, a.data(), 5, b.data(), 4, 0.0f, c.data(),
+       4);
+  EXPECT_EQ(flops.value(), before);
+
+  gemm(false, false, 6, 4, 5, 1.0f, a.data(), 5, b.data(), 4, 0.0f, c.data(),
+       4);
+  EXPECT_EQ(flops.value(), before + 2ull * 6 * 4 * 5);
+  telemetry::set_enabled(false);
+}
+
+// ---------------------------------------------------------------------------
+// aligned_grain helper (util/parallel)
+// ---------------------------------------------------------------------------
+
+TEST(GemmKernel, AlignedGrainRoundsUpToTileMultiples) {
+  EXPECT_EQ(aligned_grain(48, 6), 48u);
+  EXPECT_EQ(aligned_grain(47, 6), 48u);
+  EXPECT_EQ(aligned_grain(1, 6), 6u);
+  EXPECT_EQ(aligned_grain(0, 6), 6u);
+  EXPECT_EQ(aligned_grain(13, 0), 13u);  // tile 0 behaves as 1
+  EXPECT_EQ(aligned_grain(0, 0), 1u);
+}
+
+}  // namespace
+}  // namespace remapd

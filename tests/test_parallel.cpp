@@ -320,9 +320,11 @@ TEST(GemmRegression, NaNInBPropagatesThroughZeroA) {
   EXPECT_TRUE(std::isnan(c[3]));  // 0*Inf
 }
 
-TEST(GemmRegression, ZeroSkipStillExactWhenBFinite) {
-  // With a finite B panel the sparse-A skip is active; the result must be
-  // identical to the naive triple loop.
+TEST(GemmRegression, SparseAMatchesReference) {
+  // A sparse A panel must produce the same values as the dense reference —
+  // within FP tolerance: the packed kernel's accumulation grouping (and its
+  // use of FMA where available) legitimately differs from a scalar triple
+  // loop, but sparsity must never alter which products are issued.
   Rng rng(31);
   Tensor a = Tensor::randn(Shape{17, 9}, rng);
   for (std::size_t i = 0; i < a.numel(); i += 3) a[i] = 0.0f;
@@ -330,10 +332,11 @@ TEST(GemmRegression, ZeroSkipStillExactWhenBFinite) {
   const Tensor c = matmul(a, b);
   for (std::size_t i = 0; i < 17; ++i)
     for (std::size_t j = 0; j < 13; ++j) {
-      float acc = 0.0f;
+      double acc = 0.0;
       for (std::size_t k = 0; k < 9; ++k)
-        acc += a[i * 9 + k] * b[k * 13 + j];
-      EXPECT_EQ(c[i * 13 + j], acc) << i << "," << j;
+        acc += static_cast<double>(a[i * 9 + k]) * b[k * 13 + j];
+      EXPECT_NEAR(c[i * 13 + j], acc, 1e-5 * (std::abs(acc) + 1.0))
+          << i << "," << j;
     }
 }
 
