@@ -1,0 +1,274 @@
+// Scenario head-to-heads: each fault physics of the DESIGN.md §14 taxonomy
+// run against the policy built for it AND a competing baseline, on one
+// fixed bench-scale configuration:
+//
+//   transient  refresh (detect-and-refresh) vs none — refresh must win,
+//              and must end every refresh round with zero live upsets.
+//   ir-drop    one network trained under ideal interconnect, then deployed
+//              (redeploy_interconnect) on resistive lines driven
+//              single-sided vs alternating — the X-CHANGR comparison. The
+//              alternating deployment calibrates to exactly the ideal
+//              arithmetic while single-sided perturbs every weight by its
+//              position gain, so the ordering gap is structural, not a
+//              training-noise artifact. The in-training single-sided run
+//              (policy none) is also recorded for the curves.
+//   saf        remap-d vs drop-connect vs none — the paper's policy vs the
+//              remap-free training baseline under permanent faults.
+//
+// The accuracy curves are float trajectories and therefore machine-shaped
+// (the GEMM kernel dispatches AVX2 vs portable); what the perf gate pins
+// EXACTLY are the machine-independent verdicts: the three ordering
+// booleans and the 1-vs-4-thread bitwise-determinism check run on the two
+// new scenarios (`deterministic`). scripts/check_bench.py compares the
+// JSON (`--json PATH`) against bench/baselines/BENCH_scenarios.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "trainer/fault_aware_trainer.hpp"
+#include "trainer/metrics.hpp"
+#include "trainer/timing_model.hpp"
+#include "util/parallel.hpp"
+#include "xbar/ir_drop.hpp"
+
+namespace {
+
+using namespace remapd;
+
+/// One bench-scale base config shared by every point: small enough that
+/// the nine training runs finish in seconds, large enough that the
+/// scenario effects dominate run-to-run noise at the fixed seed.
+TrainerConfig base_config() {
+  TrainerConfig cfg = recommended_config("resnet12");
+  cfg.epochs = 6;
+  cfg.data.train = 96;
+  cfg.data.test = 64;
+  cfg.seed = 42;
+  apply_env_overrides(cfg);
+  return cfg;
+}
+
+TrainerConfig transient_config(const std::string& policy) {
+  TrainerConfig cfg = base_config();
+  cfg.faults = FaultScenario::ideal();
+  cfg.transients.enabled = true;
+  cfg.transients.upset_rate = 0.004;
+  cfg.policy = policy;
+  return cfg;
+}
+
+TrainerConfig ir_drop_config(const std::string& policy) {
+  TrainerConfig cfg = base_config();
+  cfg.faults = FaultScenario::ideal();
+  cfg.ir_drop.wire_ohms_per_cell = 800.0;
+  cfg.policy = policy;
+  return cfg;
+}
+
+/// The SAF trio runs squeezenet at the fig6 scale: the fire modules'
+/// narrow squeeze layers make permanent faults genuinely destructive
+/// there, so the remap-d-vs-none gap is wide (~25 accuracy points across
+/// seeds) rather than a noise-level flip as on the skip-connected resnet.
+TrainerConfig saf_config(const std::string& policy) {
+  TrainerConfig cfg = recommended_config("squeezenet");
+  cfg.seed = 42;
+  apply_env_overrides(cfg);
+  cfg.faults = FaultScenario::paper_default_compressed(cfg.epochs);
+  cfg.policy = policy;
+  return cfg;
+}
+
+struct Point {
+  std::string scenario;
+  std::string policy;
+  TrainResult result;
+  bool deterministic = true;  ///< only checked for the new scenarios
+};
+
+bool same_history(const TrainResult& a, const TrainResult& b) {
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const EpochRecord& x = a.history[i];
+    const EpochRecord& y = b.history[i];
+    // Bitwise float compares: the determinism contract promises identical
+    // arithmetic at any thread count, not merely close results.
+    if (std::memcmp(&x.train_loss, &y.train_loss, sizeof(float)) != 0 ||
+        std::memcmp(&x.train_accuracy, &y.train_accuracy, sizeof(double)) !=
+            0 ||
+        std::memcmp(&x.test_accuracy, &y.test_accuracy, sizeof(double)) != 0)
+      return false;
+    if (x.remaps != y.remaps || x.total_faults != y.total_faults ||
+        x.new_upsets != y.new_upsets || x.live_upsets != y.live_upsets ||
+        x.refreshed_cells != y.refreshed_cells ||
+        x.refresh_cycles != y.refresh_cycles)
+      return false;
+  }
+  return true;
+}
+
+/// Run a config at 4 threads; when `check_threads`, run again at 1 thread
+/// and demand a bitwise-identical history.
+Point run_point(const std::string& scenario, const TrainerConfig& cfg,
+                bool check_threads) {
+  Point p;
+  p.scenario = scenario;
+  p.policy = cfg.policy;
+  set_parallel_threads(4);
+  p.result = train_with_faults(cfg);
+  if (check_threads) {
+    set_parallel_threads(1);
+    const TrainResult serial = train_with_faults(cfg);
+    p.deterministic = same_history(p.result, serial);
+    set_parallel_threads(4);
+  }
+  std::printf("%-10s %-14s final_acc=%.3f%s\n", scenario.c_str(),
+              cfg.policy.c_str(), p.result.final_test_accuracy,
+              check_threads
+                  ? (p.deterministic ? "  [1v4-thread: bitwise]"
+                                     : "  [1v4-thread: DIVERGED]")
+                  : "");
+  std::fflush(stdout);
+  return p;
+}
+
+double final_acc(const std::vector<Point>& pts, const std::string& scenario,
+                 const std::string& policy) {
+  for (const Point& p : pts)
+    if (p.scenario == scenario && p.policy == policy)
+      return p.result.final_test_accuracy;
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "bench_scenarios: unknown flag %s\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::printf("== Scenario head-to-heads ==\n"
+              "   transient / ir-drop: resnet12, 6 epochs\n"
+              "   saf                : squeezenet, fig6 scale\n\n");
+
+  std::vector<Point> pts;
+  pts.push_back(run_point("transient", transient_config("none"), false));
+  pts.push_back(run_point("transient", transient_config("refresh"), true));
+  pts.push_back(run_point("ir-drop", ir_drop_config("none"), true));
+  pts.push_back(run_point("saf", saf_config("none"), false));
+  pts.push_back(run_point("saf", saf_config("drop-connect"), false));
+  pts.push_back(run_point("saf", saf_config("remap-d"), false));
+
+  // X-CHANGR deployment comparison: train once under ideal interconnect,
+  // deploy the SAME trained network on resistive lines under both drive
+  // schemes, and read test accuracy through the deployed arithmetic. The
+  // alternating scheme calibrates back to the exact ideal arithmetic, so
+  // its accuracy equals the ideal deployment bit for bit.
+  set_parallel_threads(4);
+  TrainerConfig ideal_cfg = base_config();
+  ideal_cfg.faults = FaultScenario::ideal();
+  ideal_cfg.policy = "none";
+  FaultAwareTrainer trained(ideal_cfg);
+  const double acc_ideal = trained.run().final_test_accuracy;
+  SynthSpec eval_spec = ideal_cfg.data;
+  eval_spec.seed = ideal_cfg.seed;
+  const Dataset eval_set = make_synthetic(eval_spec).test;
+  IrDropConfig deploy_ir;
+  deploy_ir.wire_ohms_per_cell = 800.0;
+  trained.redeploy_interconnect(deploy_ir, LineScheme::kSingleSided);
+  const double acc_static = evaluate_accuracy(trained.model(), eval_set);
+  trained.redeploy_interconnect(deploy_ir, LineScheme::kAlternating);
+  const double acc_alt = evaluate_accuracy(trained.model(), eval_set);
+  std::printf("%-10s trained ideal, deployed: ideal=%.3f single-sided=%.3f "
+              "alternating=%.3f\n",
+              "ir-deploy", acc_ideal, acc_static, acc_alt);
+
+  const bool refresh_wins = final_acc(pts, "transient", "refresh") >
+                            final_acc(pts, "transient", "none");
+  const bool altmap_wins = acc_alt > acc_static;
+  const bool remapd_wins =
+      final_acc(pts, "saf", "remap-d") > final_acc(pts, "saf", "none");
+  bool deterministic = true;
+  for (const Point& p : pts) deterministic = deterministic && p.deterministic;
+
+  // Refresh cost in the timing model's currency: mean verify+rewrite
+  // cycles per epoch against the pipeline's epoch total (same denominator
+  // as the paper's 0.13 % BIST overhead claim).
+  std::uint64_t refresh_cycles = 0;
+  std::size_t epochs = 1;
+  for (const Point& p : pts)
+    if (p.scenario == "transient" && p.policy == "refresh") {
+      for (const EpochRecord& e : p.result.history)
+        refresh_cycles += e.refresh_cycles;
+      epochs = p.result.history.empty() ? 1 : p.result.history.size();
+    }
+  const EpochTiming timing = estimate_epoch_timing(PipelineTimingConfig{});
+  const double refresh_overhead =
+      timing.overhead_percent(refresh_cycles / epochs);
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("\nrefresh beats none under transients : %s\n",
+              refresh_wins ? "yes" : "NO");
+  std::printf("alternating beats static under IR-drop: %s\n",
+              altmap_wins ? "yes" : "NO");
+  std::printf("remap-d beats none under SAF          : %s\n",
+              remapd_wins ? "yes" : "NO");
+  std::printf("1-vs-4-thread bitwise deterministic   : %s\n",
+              deterministic ? "yes" : "NO");
+  std::printf("refresh overhead: %.4f%% of epoch cycles\n", refresh_overhead);
+  std::printf("wall: %.1fs\n", wall_seconds);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_scenarios: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << "{\"bench\":\"scenarios\",\"deterministic\":"
+        << (deterministic ? "true" : "false") << ",\"orderings\":{"
+        << "\"refresh_beats_none_transient\":"
+        << (refresh_wins ? "true" : "false")
+        << ",\"altmap_beats_static_irdrop\":"
+        << (altmap_wins ? "true" : "false")
+        << ",\"remapd_beats_none_saf\":" << (remapd_wins ? "true" : "false")
+        << "},\"refresh_overhead_percent\":" << refresh_overhead
+        << ",\"deploy\":{\"ideal\":" << acc_ideal
+        << ",\"single_sided\":" << acc_static
+        << ",\"alternating\":" << acc_alt << "},\"points\":[";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Point& p = pts[i];
+      const EpochRecord& last = p.result.last();
+      if (i) out << ",";
+      out << "{\"scenario\":\"" << p.scenario << "\",\"policy\":\""
+          << p.policy << "\",\"final_acc\":"
+          << p.result.final_test_accuracy
+          << ",\"final_live_upsets\":" << last.live_upsets
+          << ",\"refreshed_cells\":" << last.refreshed_cells
+          << ",\"total_remaps\":" << p.result.total_remaps << "}";
+    }
+    out << "],\"wall_seconds\":" << wall_seconds << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  const bool pass = refresh_wins && altmap_wins && remapd_wins &&
+                    deterministic;
+  if (!pass) std::printf("FAIL: expected ordering/determinism violated\n");
+  return pass ? 0 : 1;
+}

@@ -5,7 +5,15 @@
 // Usage: remapd_experiment [--flag value]...
 //   --model NAME        vgg11|vgg16|vgg19|resnet12|resnet18|squeezenet
 //   --policy NAME       none|an-code|static|remap-ws|remap-t-5|remap-t-10|
-//                       remap-d
+//                       remap-d|refresh|xchangr|drop-connect
+//   --fault-model NAME  saf|transient|ir-drop|saf+transient|saf+ir-drop|
+//                       ideal — scenario
+//                       preset (trainer/scenarios.hpp). Applied after every
+//                       other flag and env override so the SAF wear rate is
+//                       derived from the final epoch count; combine with
+//                       REMAPD_UPSET_RATE / REMAPD_WIRE_OHMS for sweeps.
+//   --list-policies     print the policy registry and exit
+//   --list-fault-models print the fault-model registry and exit
 //   --dataset NAME      cifar10|cifar100|svhn
 //   --epochs N          training epochs (default 8)
 //   --train N           training samples (default 256)
@@ -32,6 +40,7 @@
 #include "obs/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trainer/fault_aware_trainer.hpp"
+#include "trainer/scenarios.hpp"
 #include "util/csv.hpp"
 
 namespace {
@@ -49,6 +58,7 @@ int main(int argc, char** argv) {
   TrainerConfig cfg = recommended_config("resnet12");
   cfg.faults = FaultScenario::paper_default_compressed(cfg.epochs);
   std::string csv_path;
+  std::string fault_model;
   bool ideal = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -57,7 +67,17 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
       return argv[++i];
     };
-    if (flag == "--model") {
+    if (flag == "--list-policies") {
+      for (const PolicySpec& s : policy_registry())
+        std::printf("%-12s %s\n", s.name.c_str(), s.summary.c_str());
+      return 0;
+    } else if (flag == "--list-fault-models") {
+      for (const FaultModelSpec& s : fault_model_registry())
+        std::printf("%-14s %s\n", s.name.c_str(), s.summary.c_str());
+      return 0;
+    } else if (flag == "--fault-model") {
+      fault_model = next();  // applied last, once epochs are final
+    } else if (flag == "--model") {
       cfg = recommended_config(next());
       cfg.faults = FaultScenario::paper_default_compressed(cfg.epochs);
     } else if (flag == "--policy") {
@@ -113,6 +133,13 @@ int main(int argc, char** argv) {
   }
   if (ideal) cfg.faults = FaultScenario::ideal();
   apply_env_overrides(cfg);
+  if (!fault_model.empty()) {
+    try {
+      apply_fault_model(cfg, fault_model);
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+  }
 
   std::printf("model=%s policy=%s dataset=%s epochs=%zu seed=%llu\n",
               cfg.model.c_str(), cfg.policy.c_str(),
@@ -120,23 +147,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.seed));
 
   const TrainResult r = train_with_faults(cfg);
-  std::printf("%6s %10s %10s %10s %8s %10s %10s\n", "epoch", "loss",
-              "train_acc", "test_acc", "remaps", "faults", "new_faults");
+  std::printf("%6s %10s %10s %10s %8s %10s %10s %8s %10s\n", "epoch", "loss",
+              "train_acc", "test_acc", "remaps", "faults", "new_faults",
+              "upsets", "refreshed");
   for (const EpochRecord& e : r.history)
-    std::printf("%6zu %10.4f %10.3f %10.3f %8zu %10zu %10zu\n", e.epoch,
-                e.train_loss, e.train_accuracy, e.test_accuracy, e.remaps,
-                e.total_faults, e.new_faults);
+    std::printf("%6zu %10.4f %10.3f %10.3f %8zu %10zu %10zu %8zu %10zu\n",
+                e.epoch, e.train_loss, e.train_accuracy, e.test_accuracy,
+                e.remaps, e.total_faults, e.new_faults, e.live_upsets,
+                e.refreshed_cells);
   std::printf("final accuracy %.3f, total remaps %zu\n",
               r.final_test_accuracy, r.total_remaps);
 
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path);
     csv.header({"model", "policy", "dataset", "epoch", "loss", "train_acc",
-                "test_acc", "remaps", "faults", "new_faults"});
+                "test_acc", "remaps", "faults", "new_faults", "new_upsets",
+                "live_upsets", "refreshed_cells", "refresh_cycles"});
     for (const EpochRecord& e : r.history)
       csv.row(cfg.model, cfg.policy, synth_name(cfg.data.kind), e.epoch,
               e.train_loss, e.train_accuracy, e.test_accuracy, e.remaps,
-              e.total_faults, e.new_faults);
+              e.total_faults, e.new_faults, e.new_upsets, e.live_upsets,
+              e.refreshed_cells, e.refresh_cycles);
     std::printf("wrote %s\n", csv_path.c_str());
   }
 

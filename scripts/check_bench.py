@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the BENCH_*.json trajectory records.
 
-Runs `bench_gemm --json`, `bench_kernels --json` and `bench_fleet --json`
-from a build tree and compares the fresh records against the committed
-baselines in bench/baselines/. Three classes of field, three rules:
+Runs `bench_gemm --json`, `bench_kernels --json`, `bench_fleet --json` and
+`bench_scenarios --json` from a build tree and compares the fresh records
+against the committed baselines in bench/baselines/. Three classes of
+field, three rules:
 
 * Deterministic fields (scheduler step counts, job outcomes, latency
   percentiles measured on the fleet's virtual step clock, the gemm/kernels
-  determinism verdicts) are machine-independent by the repo's determinism
-  contract — they must match the baseline EXACTLY. A drift here is a
-  behavior change smuggled in as a perf delta.
+  determinism verdicts, the scenario-ordering booleans) are
+  machine-independent by the repo's determinism contract — they must match
+  the baseline EXACTLY. A drift here is a behavior change smuggled in as a
+  perf delta.
 * Wall-clock fields (median_ms, wall_seconds, ...) track machine speed:
   the fresh value must stay under baseline * --slack (default 3.0 — CI
   runners are noisy; the gate is for order-of-magnitude regressions, the
@@ -70,6 +72,18 @@ FLEET_WALL = [
     "summary.jobs_per_min",
     "summary.epochs_per_min",
 ]
+
+# Scenario head-to-heads: the ordering verdicts are the point of the bench
+# — a flipped ordering is a scenario-model or policy regression, not a perf
+# delta. The float accuracy points are machine-shaped (kernel dispatch) and
+# deliberately not gated.
+SCENARIOS_EXACT = [
+    "deterministic",
+    "orderings.refresh_beats_none_transient",
+    "orderings.altmap_beats_static_irdrop",
+    "orderings.remapd_beats_none_saf",
+]
+SCENARIOS_WALL = ["wall_seconds"]
 
 
 def dig(record, path):
@@ -180,6 +194,13 @@ def check_kernels(gate, baseline, fresh):
                  KERNELS_POINT_WALL, KERNELS_POINT_FLOOR)
 
 
+def check_scenarios(gate, baseline, fresh):
+    for field in SCENARIOS_EXACT:
+        gate.exact("scen", field, dig(baseline, field), dig(fresh, field))
+    for field in SCENARIOS_WALL:
+        gate.wall("scen", field, dig(baseline, field), dig(fresh, field))
+
+
 def check_fleet(gate, baseline, fresh):
     for field in FLEET_EXACT:
         gate.exact("fleet", field, dig(baseline, field), dig(fresh, field))
@@ -210,6 +231,9 @@ def main():
          check_kernels),
         ("fleet", os.path.join(args.build_dir, "bench", "bench_fleet"),
          check_fleet),
+        ("scenarios",
+         os.path.join(args.build_dir, "bench", "bench_scenarios"),
+         check_scenarios),
     ]
 
     gate = Gate(args.slack)

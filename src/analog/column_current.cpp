@@ -29,6 +29,25 @@ double column_current(const Crossbar& xb, std::size_t col,
   return p.read_voltage * conductance;
 }
 
+double column_current(const Crossbar& xb, std::size_t col,
+                      TestPattern pattern, const IrDropConfig& ir,
+                      LineScheme scheme) {
+  const CellParams& p = xb.params();
+  const double r_healthy = healthy_resistance(p, pattern);
+  double current = 0.0;
+  for (std::size_t r = 0; r < xb.rows(); ++r) {
+    const CellFault f = xb.fault_at(r, col);
+    const double r_cell = f != CellFault::kNone
+                              ? xb.stuck_resistance_at(r, col)
+                              : r_healthy;
+    const double r_wire =
+        ir.wire_ohms_per_cell *
+        ir_path_segments(r, col, xb.rows(), xb.cols(), scheme);
+    current += p.read_voltage / (r_cell + r_wire);
+  }
+  return current;
+}
+
 std::vector<double> all_column_currents(const Crossbar& xb,
                                         TestPattern pattern) {
   std::vector<double> out;

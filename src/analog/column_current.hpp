@@ -5,15 +5,20 @@
 // during the SA0 test, to logic "1" (R_on). A read voltage V is applied to
 // all rows simultaneously and the column output is the Kirchhoff sum of the
 // per-cell currents I = Σ V / R_i, where faulty cells contribute their
-// stuck resistance (sampled within the variation bands of [4]). Sneak-path
-// and wire resistance effects are second-order at BIST's
-// all-rows-driven-equally condition and are not modelled.
+// stuck resistance (sampled within the variation bands of [4]). Sneak
+// paths are second-order at BIST's all-rows-driven-equally condition and
+// are not modelled; finite wire resistance optionally is — the IR-drop
+// overloads put `wire_ohms_per_cell * path_segments` in series with every
+// cell (first-order X-CHANGR model, xbar/ir_drop.hpp), making a column's
+// current — and a fault's visibility in it — depend on the faulty cell's
+// position along the line.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "xbar/crossbar.hpp"
+#include "xbar/ir_drop.hpp"
 
 namespace remapd {
 
@@ -27,6 +32,13 @@ enum class TestPattern : std::uint8_t {
 /// parameters' read voltage.
 double column_current(const Crossbar& xb, std::size_t col,
                       TestPattern pattern);
+
+/// IR-drop-aware variant: each cell's read path carries its wire
+/// resistance under `scheme` in series. With `ir` disabled this reduces
+/// exactly to the ideal-interconnect model above.
+double column_current(const Crossbar& xb, std::size_t col,
+                      TestPattern pattern, const IrDropConfig& ir,
+                      LineScheme scheme = LineScheme::kSingleSided);
 
 /// All column currents of a crossbar under a pattern.
 std::vector<double> all_column_currents(const Crossbar& xb,

@@ -4,6 +4,7 @@
 
 #include "core/baselines.hpp"
 #include "core/remap_d.hpp"
+#include "core/scenario_policies.hpp"
 #include "util/env.hpp"
 
 namespace remapd {
@@ -18,7 +19,38 @@ PolicyPtr make_policy(const std::string& name) {
     return std::make_unique<AnCodePolicy>(
         env_double_nonneg("REMAPD_ANCODE_CAP", 0.001));
   if (name == "none") return std::make_unique<NoProtection>();
+  if (name == "refresh") {
+    DetectAndRefresh::Config cfg;
+    cfg.interval = env_size("REMAPD_REFRESH_EVERY", 1);
+    return std::make_unique<DetectAndRefresh>(cfg);
+  }
+  if (name == "xchangr") return std::make_unique<XChangrMapping>();
+  if (name == "drop-connect")
+    return std::make_unique<DropConnect>(
+        env_double_nonneg("REMAPD_DROP_FRACTION", 0.05));
   throw std::invalid_argument("make_policy: unknown policy " + name);
+}
+
+const std::vector<PolicySpec>& policy_registry() {
+  static const std::vector<PolicySpec> specs = {
+      {"remap-d", "dynamic task remapping (the paper's contribution)"},
+      {"static", "fault-aware placement once at t = 0"},
+      {"remap-ws", "top-5% weight-significance remap [12]"},
+      {"remap-t-5", "preemptive top-5% |gradient| remap"},
+      {"remap-t-10", "preemptive top-10% |gradient| remap"},
+      {"an-code", "AN-code ECC output correction [10]"},
+      {"none", "unprotected training"},
+      {"refresh",
+       "detect-and-refresh of transient upsets every REMAPD_REFRESH_EVERY "
+       "epochs (arXiv:2412.03089)"},
+      {"xchangr",
+       "alternating line drive flattening the IR-drop gain field "
+       "(arXiv:1907.00285)"},
+      {"drop-connect",
+       "drop-connect training, REMAPD_DROP_FRACTION of weights per epoch "
+       "(arXiv:2404.15498)"},
+  };
+  return specs;
 }
 
 }  // namespace remapd

@@ -1,12 +1,18 @@
 // Fault-tolerance policy interface. The trainer drives every solution of
 // Fig. 6 through this interface:
 //
-//   remap-d     dynamic task remapping (the paper's contribution)
-//   static      fault-aware mapping once at t = 0
-//   remap-ws    weight-significance remap of [12] (top-5 % |w|, pretrained)
-//   remap-t-n%  preemptive remap of the top-n % weights by |gradient|
-//   an-code     AN-code ECC output correction [10]
-//   none        unprotected training
+//   remap-d       dynamic task remapping (the paper's contribution)
+//   static        fault-aware mapping once at t = 0
+//   remap-ws      weight-significance remap of [12] (top-5 % |w|, pretrained)
+//   remap-t-n%    preemptive remap of the top-n % weights by |gradient|
+//   an-code       AN-code ECC output correction [10]
+//   none          unprotected training
+//
+// plus the scenario-diversity baselines (core/scenario_policies.hpp):
+//
+//   refresh       detect-and-refresh of transient upsets (arXiv:2412.03089)
+//   xchangr       alternating line drive against IR-drop (arXiv:1907.00285)
+//   drop-connect  drop-connect fault-tolerance training (arXiv:2404.15498)
 //
 // A policy can act at two points: it may *re-assign tasks to crossbars*
 // (on_training_start / on_epoch_end, via the mapper), and it may *filter
@@ -18,12 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "core/fault_density_map.hpp"
 #include "core/task.hpp"
 #include "telemetry/telemetry.hpp"
 #include "tensor/tensor.hpp"
 
 namespace remapd {
+
+class TransientFaultModel;  // xbar/transient.hpp
 
 namespace obs {
 class RemapAuditLog;  // header-only audit sink (obs/audit.hpp); policies
@@ -47,6 +56,9 @@ struct PolicyContext {
   /// True for the on_training_start round (audit records carry it so the
   /// placement round is not counted against epoch 0's swaps).
   bool at_training_start = false;
+  /// Live transient-upset state; null when the scenario is disabled. The
+  /// detect-and-refresh policy clears crossbars through this pointer.
+  TransientFaultModel* transients = nullptr;
 };
 
 /// A task swap executed by a policy (consumed by the NoC traffic model).
@@ -55,9 +67,9 @@ struct RemapEvent {
   XbarId receiver_xbar;
 };
 
-class RemapPolicy {
+class RemapPolicy : public ckpt::Snapshotable {
  public:
-  virtual ~RemapPolicy() = default;
+  ~RemapPolicy() override = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -78,6 +90,20 @@ class RemapPolicy {
 
   /// Additional hardware area this solution needs, in percent of the RCS.
   [[nodiscard]] virtual double area_overhead_percent() const { return 0.0; }
+
+  /// ReRAM cycles the most recent on_epoch_end round spent beyond the
+  /// training pipeline itself (verify reads + refresh rewrites); charged
+  /// against the epoch through the timing model like BIST cycles.
+  [[nodiscard]] virtual std::uint64_t last_extra_cycles() const { return 0; }
+  /// Upset cells rewritten by the most recent on_epoch_end round.
+  [[nodiscard]] virtual std::size_t last_refreshed_cells() const { return 0; }
+
+  /// Snapshotable hooks for policies with trajectory-shaping internal
+  /// state (e.g. drop-connect's mask seed). Stateless policies keep the
+  /// empty defaults; the trainer checkpoints whatever is written here
+  /// under a "policy" section tagged with the policy's name.
+  void save_state(ckpt::ByteWriter& w) const override { (void)w; }
+  void load_state(ckpt::ByteReader& r) override { (void)r; }
 
   /// Task swaps performed by the most recent on_* call.
   [[nodiscard]] const std::vector<RemapEvent>& last_events() const {
@@ -107,8 +133,21 @@ class RemapPolicy {
 
 using PolicyPtr = std::unique_ptr<RemapPolicy>;
 
-/// Factory for every policy of Fig. 6: "remap-d", "static", "remap-ws",
-/// "remap-t-5", "remap-t-10", "an-code", "none".
+/// Factory for every policy of Fig. 6 plus the scenario baselines:
+/// "remap-d", "static", "remap-ws", "remap-t-5", "remap-t-10", "an-code",
+/// "none", "refresh", "xchangr", "drop-connect". Throws
+/// std::invalid_argument for unknown names.
 PolicyPtr make_policy(const std::string& name);
+
+/// One row of the policy catalog (`remapd_experiment --list-policies`).
+struct PolicySpec {
+  std::string name;
+  std::string summary;
+};
+
+/// Every name make_policy accepts, with a one-line summary. The docs'
+/// scenario matrix and the CLI listing are both generated from this table,
+/// so they cannot drift from the factory.
+const std::vector<PolicySpec>& policy_registry();
 
 }  // namespace remapd

@@ -34,6 +34,7 @@ enum class WeightClampKind : std::uint8_t {
   kPosStuck1,  ///< SA1 in the positive array
   kNegStuck0,  ///< SA0 in the negative array
   kNegStuck1,  ///< SA1 in the negative array
+  kZeroed,     ///< connection deliberately severed (drop-connect baseline)
 };
 
 [[nodiscard]] constexpr bool is_stuck_at_1(WeightClampKind k) {
@@ -63,13 +64,18 @@ struct WeightClamp {
 /// the task currently mapped to it.
 struct FaultView {
   std::vector<WeightClamp> clamps;
+  /// Position-dependent IR-drop attenuation per weight (see
+  /// xbar/ir_drop.hpp). Empty means unity gain everywhere (ideal
+  /// interconnect); otherwise it must hold one factor per weight.
+  std::vector<float> gain;
   float w_max = 1.0f;  ///< conductance-mapping full-scale weight
   MappingMode mode = MappingMode::kSingleArrayBias;
 
-  [[nodiscard]] bool empty() const { return clamps.empty(); }
+  [[nodiscard]] bool empty() const { return clamps.empty() && gain.empty(); }
 
   /// Effective weight of a single stuck cell given its digital value.
   [[nodiscard]] float clamp_value(float w, WeightClampKind kind) const {
+    if (kind == WeightClampKind::kZeroed) return 0.0f;
     if (mode == MappingMode::kSingleArrayBias)
       return is_stuck_at_1(kind) ? w_max : -w_max;
     const float wpos = w > 0.0f ? w : 0.0f;
@@ -79,22 +85,34 @@ struct FaultView {
       case WeightClampKind::kPosStuck1: return w_max - wneg;
       case WeightClampKind::kNegStuck0: return wpos;
       case WeightClampKind::kNegStuck1: return wpos - w_max;
+      case WeightClampKind::kZeroed: return 0.0f;  // handled above
     }
     return w;
   }
 
-  /// Copy `n` digital weights into `out`, then apply the clamps. A clamp
-  /// index at or past `n` means the mapper built this view for a different
-  /// layer shape — silently dropping it would make the crossbar look
-  /// healthier than it is, so it throws instead.
+  /// Copy `n` digital weights into `out`, apply the IR-drop gains, then
+  /// the clamps (a stuck cell's full-scale conductance is attenuated by
+  /// the same wire path as a healthy one). A clamp index at or past `n` —
+  /// or a gain field of the wrong length — means the mapper built this
+  /// view for a different layer shape; silently dropping either would make
+  /// the crossbar look healthier than it is, so it throws instead.
   void apply(const float* w, float* out, std::size_t n) const {
-    for (std::size_t i = 0; i < n; ++i) out[i] = w[i];
+    if (!gain.empty() && gain.size() != n)
+      throw std::out_of_range("FaultView::apply: gain field holds " +
+                              std::to_string(gain.size()) +
+                              " factors for " + std::to_string(n) +
+                              " weights");
+    if (gain.empty())
+      for (std::size_t i = 0; i < n; ++i) out[i] = w[i];
+    else
+      for (std::size_t i = 0; i < n; ++i) out[i] = w[i] * gain[i];
     for (const auto& c : clamps) {
       if (c.index >= n)
         throw std::out_of_range("FaultView::apply: clamp index " +
                                 std::to_string(c.index) +
                                 " >= weight count " + std::to_string(n));
-      out[c.index] = clamp_value(w[c.index], c.kind);
+      const float v = clamp_value(w[c.index], c.kind);
+      out[c.index] = gain.empty() ? v : v * gain[c.index];
     }
   }
 };

@@ -38,8 +38,15 @@ void apply_gradient_pinning(const std::optional<FaultView>& view,
   const float magnitude = kappa * rms;
 
   for (const auto& c : view->clamps)
-    if (c.index < grad.numel())
-      grad[c.index] = is_stuck_at_1(c.kind) ? magnitude : -magnitude;
+    if (c.index < grad.numel()) {
+      // A deliberately severed (drop-connect) weight is a zero, not a
+      // full-scale outlier: it contributes nothing forward and receives no
+      // gradient, exactly like standard drop-connect regularization.
+      if (c.kind == WeightClampKind::kZeroed)
+        grad[c.index] = 0.0f;
+      else
+        grad[c.index] = is_stuck_at_1(c.kind) ? magnitude : -magnitude;
+    }
 }
 
 }  // namespace remapd

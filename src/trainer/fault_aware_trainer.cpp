@@ -52,6 +52,12 @@ FaultAwareTrainer::FaultAwareTrainer(TrainerConfig cfg)
   mapper_->map_layers(dims);
 
   injector_ = std::make_unique<FaultInjector>(cfg_.faults, rng_);
+  if (cfg_.transients.enabled) {
+    transients_ =
+        std::make_unique<TransientFaultModel>(cfg_.transients, rng_);
+    mapper_->set_transients(transients_.get());
+  }
+  mapper_->set_ir_drop(cfg_.ir_drop);
   policy_ = make_policy(cfg_.policy);
   density_.reset(rcs_->total_crossbars());
 
@@ -104,6 +110,7 @@ PolicyContext FaultAwareTrainer::make_context(std::size_t epoch) {
   ctx.density = &density_;
   ctx.epoch = epoch;
   ctx.rng = &rng_;
+  ctx.transients = transients_.get();
   if (obs::enabled()) ctx.audit = &obs::Observatory::instance().audit();
   ctx.layers.resize(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -113,8 +120,15 @@ PolicyContext FaultAwareTrainer::make_context(std::size_t epoch) {
   return ctx;
 }
 
-void FaultAwareTrainer::refresh_fault_views() {
-  PolicyContext ctx = make_context(0);
+void FaultAwareTrainer::redeploy_interconnect(const IrDropConfig& ir,
+                                              LineScheme scheme) {
+  mapper_->set_ir_drop(ir);
+  mapper_->set_line_scheme(scheme);
+  refresh_fault_views(epochs_completed());
+}
+
+void FaultAwareTrainer::refresh_fault_views(std::size_t view_epoch) {
+  PolicyContext ctx = make_context(view_epoch);
   layer_w_max_.resize(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     // Conductance full-scale tracks the layer's dynamic range: the mapping
@@ -186,9 +200,11 @@ void FaultAwareTrainer::begin_training() {
   {
     // On resume this rebuilds the views from the restored fault state,
     // task map, and grad-importance accumulators — exactly the views the
-    // interrupted run trained its next epoch with.
+    // interrupted run trained its next epoch with. epochs_completed() is
+    // 0 for a fresh run and matches the view_epoch the interrupted run
+    // last refreshed with (epoch + 1 at the boundary of its final epoch).
     REMAPD_TRACE_SPAN("view-refresh", "trainer");
-    refresh_fault_views();
+    refresh_fault_views(epochs_completed());
   }
 }
 
@@ -266,10 +282,18 @@ void FaultAwareTrainer::train_one_epoch(std::size_t epoch, Batcher& batcher) {
     seen += batch.labels.size();
   }
 
-  // --- epoch boundary: wear-out, BIST, remapping, view refresh ---
+  // --- epoch boundary: wear-out, upsets, BIST, remapping, view refresh ---
   std::size_t new_faults = 0;
   if (cfg_.fault_target == PhaseFaultTarget::kAll)
     new_faults = injector_->inject_post_deployment(*rcs_);
+  // Transient upsets accrued over this epoch's operation. They surface in
+  // the views built below — corrupting evaluation and the next epoch —
+  // unless the policy's refresh round clears them first. The BIST survey
+  // does NOT see them: march tests target permanent faults, and a cell
+  // that programs correctly passes (detection needs the verify-read the
+  // refresh policy pays for).
+  std::size_t new_upsets = 0;
+  if (transients_) new_upsets = transients_->step_epoch(*rcs_);
   std::uint64_t bist_cycles = 0;
   {
     REMAPD_TRACE_SPAN("bist-survey", "trainer");
@@ -285,8 +309,10 @@ void FaultAwareTrainer::train_one_epoch(std::size_t epoch, Batcher& batcher) {
   const std::size_t remaps = policy_->last_events().size();
   result_.total_remaps += remaps;
   {
+    // Views for the next epoch (and this epoch's evaluation): epoch-keyed
+    // filters must match what a resume at this boundary would rebuild.
     REMAPD_TRACE_SPAN("view-refresh", "trainer");
-    refresh_fault_views();
+    refresh_fault_views(epoch + 1);
   }
 
   EpochRecord rec;
@@ -307,6 +333,10 @@ void FaultAwareTrainer::train_one_epoch(std::size_t epoch, Batcher& batcher) {
     faults += rcs_->crossbar(x).fault_count();
   rec.total_faults = faults;
   rec.new_faults = new_faults;
+  rec.new_upsets = new_upsets;
+  rec.live_upsets = transients_ ? transients_->total_upsets() : 0;
+  rec.refreshed_cells = policy_->last_refreshed_cells();
+  rec.refresh_cycles = policy_->last_extra_cycles();
   result_.history.push_back(rec);
 
   if (ob) {

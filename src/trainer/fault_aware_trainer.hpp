@@ -22,6 +22,7 @@
 #include "nn/sgd.hpp"
 #include "trainer/metrics.hpp"
 #include "xbar/fault_model.hpp"
+#include "xbar/transient.hpp"
 
 namespace remapd {
 
@@ -42,6 +43,10 @@ struct TrainerConfig {
   std::size_t batch_size = 32;
   Sgd::Config sgd{};
   FaultScenario faults = FaultScenario::ideal();
+  /// Transient conductance upsets (xbar/transient.hpp); off by default.
+  TransientScenario transients{};
+  /// Interconnect IR-drop (xbar/ir_drop.hpp); ideal wires by default.
+  IrDropConfig ir_drop{};
   PhaseFaultTarget fault_target = PhaseFaultTarget::kAll;
   std::string policy = "none";
   std::size_t xbar_size = 32;  ///< crossbar dimension for the scaled run
@@ -124,6 +129,13 @@ class FaultAwareTrainer {
   /// Restore from an in-memory image (same validation as restore_from).
   void restore_from_bytes(const std::string& bytes);
 
+  /// Deploy-time interconnect what-if: swap the IR-drop model / line-drive
+  /// scheme and rebuild every installed fault view (X-CHANGR-style
+  /// evaluation of a trained network on a different interconnect than it
+  /// trained on). Call after run(); a subsequent evaluate_accuracy() on
+  /// model() reads through the redeployed arithmetic.
+  void redeploy_interconnect(const IrDropConfig& ir, LineScheme scheme);
+
   // Introspection for tests / examples (valid after construction).
   [[nodiscard]] const Rcs& rcs() const { return *rcs_; }
   /// Mutable RCS access for the fleet layer: a SimChip imprints its native
@@ -145,8 +157,12 @@ class FaultAwareTrainer {
   void read_sections(const ckpt::CheckpointReader& reader);
   /// BIST (or ground-truth) survey into the density map; returns cycles.
   std::uint64_t survey();
-  /// Rebuild + install fault views on every faultable layer.
-  void refresh_fault_views();
+  /// Rebuild + install fault views on every faultable layer. `view_epoch`
+  /// is the epoch the views will serve (the *next* one at an epoch
+  /// boundary): epoch-keyed view filters (drop-connect's rotating mask)
+  /// must see the same value whether the views are built at the end of
+  /// epoch e or by begin_training() after a resume past epoch e.
+  void refresh_fault_views(std::size_t view_epoch);
   PolicyContext make_context(std::size_t epoch);
   /// Ordered (field, value) pairs of every config field that shapes the
   /// training trajectory — stored in the checkpoint and compared on resume.
@@ -162,6 +178,9 @@ class FaultAwareTrainer {
   std::unique_ptr<Rcs> rcs_;
   std::unique_ptr<WeightMapper> mapper_;
   std::unique_ptr<FaultInjector> injector_;
+  /// Null unless cfg_.transients.enabled (so SAF-only runs draw exactly
+  /// the RNG stream they always did).
+  std::unique_ptr<TransientFaultModel> transients_;
   PolicyPtr policy_;
   FaultDensityMap density_;
   BistController bist_;

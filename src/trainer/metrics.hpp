@@ -26,6 +26,10 @@ struct EpochRecord {
   std::size_t total_faults = 0;      ///< ground truth faulty cells
   std::size_t new_faults = 0;        ///< cells that failed during this epoch
   std::uint64_t bist_cycles = 0;     ///< ReRAM cycles of the epoch's survey
+  std::size_t new_upsets = 0;        ///< transient upsets accrued this epoch
+  std::size_t live_upsets = 0;       ///< upsets still drifted after policy
+  std::size_t refreshed_cells = 0;   ///< upsets verified-and-rewritten
+  std::uint64_t refresh_cycles = 0;  ///< ReRAM cycles of the refresh round
 };
 
 struct TrainResult {

@@ -1,0 +1,39 @@
+// Named fault-model presets: the `--fault-model` axis of the scenario
+// matrix (fault model x policy; see DESIGN.md §14 and the README table).
+//
+// A fault model is a *bundle* of TrainerConfig fields — the permanent SAF
+// scenario, the transient-upset scenario, and the IR-drop interconnect
+// config — applied on top of an existing config. Policies are the other
+// axis and stay orthogonal: any policy can run under any fault model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trainer/fault_aware_trainer.hpp"
+
+namespace remapd {
+
+/// One row of the fault-model catalog
+/// (`remapd_experiment --list-fault-models`).
+struct FaultModelSpec {
+  std::string name;
+  std::string summary;
+};
+
+/// Every name apply_fault_model accepts:
+///   saf            the paper's permanent stuck-at scenario (default)
+///   transient      ideal cells + Poisson conductance upsets
+///   ir-drop        ideal cells + finite line resistance
+///   saf+transient  permanent faults and upsets together
+///   saf+ir-drop    permanent faults under resistive lines
+///   ideal          no faults of any kind
+const std::vector<FaultModelSpec>& fault_model_registry();
+
+/// Overwrite cfg's fault-related fields with the named preset. The SAF
+/// preset derives its per-epoch wear-out rate from cfg.epochs (like
+/// FaultScenario::paper_default_compressed), so set epochs first. Throws
+/// std::invalid_argument naming `--fault-model` for unknown names.
+void apply_fault_model(TrainerConfig& cfg, const std::string& name);
+
+}  // namespace remapd

@@ -14,9 +14,14 @@
 //             when views are rebuilt after resume)
 //   rcs       per-crossbar cell state: SA0/SA1 fault maps, differential-
 //             pair halves, stuck resistances, endurance write counters
-//   mapper    task -> crossbar assignment (including Remap-D swaps)
+//   mapper    task -> crossbar assignment (including Remap-D swaps) and
+//             the line-drive scheme
 //   injector  fault-injection base seed, completed rounds, endurance
 //             baselines
+//   transients transient-upset base seed, completed rounds, and every
+//             still-drifted cell (absent marker when the scenario is off)
+//   policy    the policy's name plus its Snapshotable payload (e.g.
+//             drop-connect's mask seed, refresh's lifetime totals)
 //   density   the BIST fault-density map + survey counter
 //   history   per-epoch records + cumulative remap count
 //
@@ -55,6 +60,10 @@ void save_epoch_record(ckpt::ByteWriter& w, const EpochRecord& rec) {
   w.u64(rec.total_faults);
   w.u64(rec.new_faults);
   w.u64(rec.bist_cycles);
+  w.u64(rec.new_upsets);
+  w.u64(rec.live_upsets);
+  w.u64(rec.refreshed_cells);
+  w.u64(rec.refresh_cycles);
 }
 
 EpochRecord load_epoch_record(ckpt::ByteReader& r) {
@@ -69,6 +78,10 @@ EpochRecord load_epoch_record(ckpt::ByteReader& r) {
   rec.total_faults = static_cast<std::size_t>(r.u64());
   rec.new_faults = static_cast<std::size_t>(r.u64());
   rec.bist_cycles = r.u64();
+  rec.new_upsets = static_cast<std::size_t>(r.u64());
+  rec.live_upsets = static_cast<std::size_t>(r.u64());
+  rec.refreshed_cells = static_cast<std::size_t>(r.u64());
+  rec.refresh_cycles = r.u64();
   return rec;
 }
 
@@ -115,6 +128,12 @@ FaultAwareTrainer::config_fingerprint() const {
   p.emplace_back("faults.char_writes",
                  fmt_f(fs.endurance.characteristic_writes));
   p.emplace_back("faults.endurance_sa0", fmt_f(fs.endurance.sa0_fraction));
+  p.emplace_back("transients.enabled", fmt_b(cfg_.transients.enabled));
+  p.emplace_back("transients.upset_rate", fmt_f(cfg_.transients.upset_rate));
+  p.emplace_back("transients.toward_on",
+                 fmt_f(cfg_.transients.toward_on_fraction));
+  p.emplace_back("ir.wire_ohms", fmt_f(cfg_.ir_drop.wire_ohms_per_cell));
+  p.emplace_back("ir.reference_ohms", fmt_f(cfg_.ir_drop.reference_ohms));
   p.emplace_back("fault_target",
                  std::to_string(static_cast<int>(cfg_.fault_target)));
   p.emplace_back("policy", cfg_.policy);
@@ -129,6 +148,13 @@ FaultAwareTrainer::config_fingerprint() const {
                                                          4.0)));
   p.emplace_back("env.grad_pin", fmt_f(env_double_nonneg("REMAPD_GRAD_PIN",
                                                          12.0)));
+  // Policy knobs that shape the trajectory when their policy is active
+  // (harmless constants otherwise, but fingerprinting them unconditionally
+  // keeps the field list fixed).
+  p.emplace_back("env.refresh_every",
+                 std::to_string(env_size("REMAPD_REFRESH_EVERY", 1)));
+  p.emplace_back("env.drop_fraction",
+                 fmt_f(env_double_nonneg("REMAPD_DROP_FRACTION", 0.05)));
   return p;
 }
 
@@ -174,6 +200,19 @@ void FaultAwareTrainer::write_sections(ckpt::CheckpointWriter& w) {
   rcs_->save_state(w.section("rcs"));
   mapper_->save_state(w.section("mapper"));
   injector_->save_state(w.section("injector"));
+  {
+    // Presence flag first: the config fingerprint already guarantees the
+    // scenario matches, but an explicit marker keeps the section
+    // self-describing for the inspector and fails loudly on corruption.
+    ckpt::ByteWriter& tw = w.section("transients");
+    tw.boolean(transients_ != nullptr);
+    if (transients_) transients_->save_state(tw);
+  }
+  {
+    ckpt::ByteWriter& pw = w.section("policy");
+    pw.str(policy_->name());
+    policy_->save_state(pw);
+  }
   density_.save_state(w.section("density"));
   {
     ckpt::ByteWriter& hw = w.section("history");
@@ -284,6 +323,24 @@ void FaultAwareTrainer::read_sections(const ckpt::CheckpointReader& reader) {
   load("rcs", [&](ckpt::ByteReader& r) { rcs_->load_state(r); });
   load("mapper", [&](ckpt::ByteReader& r) { mapper_->load_state(r); });
   load("injector", [&](ckpt::ByteReader& r) { injector_->load_state(r); });
+  load("transients", [&](ckpt::ByteReader& r) {
+    const bool present = r.boolean();
+    if (present != (transients_ != nullptr))
+      throw ckpt::CheckpointError(
+          present ? "checkpoint has transient-upset state but the scenario "
+                    "is disabled in this config"
+                  : "checkpoint has no transient-upset state but the "
+                    "scenario is enabled in this config");
+    if (transients_) transients_->load_state(r);
+  });
+  load("policy", [&](ckpt::ByteReader& r) {
+    const std::string stored = r.str();
+    if (stored != policy_->name())
+      throw ckpt::CheckpointError("policy mismatch: checkpoint was written "
+                                  "by '" + stored + "', this run uses '" +
+                                  policy_->name() + "'");
+    policy_->load_state(r);
+  });
   load("density", [&](ckpt::ByteReader& r) { density_.load_state(r); });
   load("history", [&](ckpt::ByteReader& r) {
     result_.total_remaps = static_cast<std::size_t>(r.u64());

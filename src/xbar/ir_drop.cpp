@@ -1,0 +1,50 @@
+#include "xbar/ir_drop.hpp"
+
+namespace remapd {
+
+double ir_path_segments(std::size_t row, std::size_t col, std::size_t rows,
+                        std::size_t cols, LineScheme scheme) {
+  if (scheme == LineScheme::kSingleSided)
+    return static_cast<double>(row + 1) + static_cast<double>(col + 1);
+  // Alternating drive: each line's path is the mean of the two directions,
+  // (k + 1) and (n - k), which is (n + 1) / 2 independent of k.
+  return (static_cast<double>(rows) + 1.0) / 2.0 +
+         (static_cast<double>(cols) + 1.0) / 2.0;
+}
+
+namespace {
+
+/// Raw (uncalibrated) divider gain for a path of `segments` segments.
+double raw_gain(double segments, const IrDropConfig& cfg) {
+  const double wire = cfg.wire_ohms_per_cell * segments;
+  return cfg.reference_ohms / (cfg.reference_ohms + wire);
+}
+
+}  // namespace
+
+double ir_cell_gain(std::size_t row, std::size_t col, std::size_t rows,
+                    std::size_t cols, const IrDropConfig& cfg,
+                    LineScheme scheme) {
+  if (!cfg.enabled()) return 1.0;
+  // Calibration reference: the mean path over the array — identical for
+  // both schemes ((rows + 1)/2 + (cols + 1)/2 segments), and exactly every
+  // alternating-drive cell's own path, so alternating calibrates to 1.
+  const double mean_segments = (static_cast<double>(rows) + 1.0) / 2.0 +
+                               (static_cast<double>(cols) + 1.0) / 2.0;
+  if (scheme == LineScheme::kAlternating) return 1.0;
+  return raw_gain(ir_path_segments(row, col, rows, cols, scheme), cfg) /
+         raw_gain(mean_segments, cfg);
+}
+
+std::vector<float> ir_gain_field(std::size_t rows, std::size_t cols,
+                                 const IrDropConfig& cfg, LineScheme scheme) {
+  std::vector<float> field(rows * cols, 1.0f);
+  if (!cfg.enabled()) return field;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      field[r * cols + c] =
+          static_cast<float>(ir_cell_gain(r, c, rows, cols, cfg, scheme));
+  return field;
+}
+
+}  // namespace remapd

@@ -1,0 +1,94 @@
+// Line-resistance (IR-drop) model of a crossbar.
+//
+// The ideal-crossbar assumption treats word/bit lines as perfect
+// conductors; in a real array every segment between two adjacent cells has
+// a finite wire resistance, so the effective read path of cell (i, j) grows
+// with its distance from the row driver and the column sense amplifier.
+// The farther a cell sits from the periphery, the more wire is in series
+// with it and the smaller its current contribution — a *position-dependent*
+// attenuation of the stored weight (X-CHANGR, arXiv:1907.00285).
+//
+// The model here is the standard first-order linearization: cell (i, j)
+// sees an extra series resistance of `wire_ohms_per_cell * segments(i, j)`
+// where segments counts the wire segments on its drive + sense path, and
+// its contribution is scaled by
+//
+//   gain(i, j) = g(segments(i, j)) / g(mean segments),
+//   g(s) = R_ref / (R_ref + wire_ohms_per_cell * s)
+//
+// with R_ref a representative cell resistance (R_on — the low-resistance
+// state dominates the voltage divider in the worst case). The division
+// models the one knob the periphery always has: the ADC full-scale /
+// sense-amp reference is calibrated to the array's *mean* path once at
+// bring-up, so a uniform attenuation is invisible and only the *residual
+// position spread* around the mean reaches the arithmetic. This ignores
+// sneak paths and the current-dependence of the drop (all-rows-driven BIST
+// reads keep the raw, uncalibrated physics — see analog/column_current.*),
+// but reproduces the two properties the mitigation literature relies on:
+//
+//  * single-sided drive: calibrated gain decays monotonically from > 1 at
+//    the driven corner to < 1 at the far corner — a spread no single
+//    calibration constant can remove, and the forward and backward copies
+//    of a weight (stored transposed on different crossbars) see
+//    *different* gains, corrupting gradients;
+//  * alternating (X-CHANGR-style) drive: driving lines from alternating /
+//    both sides equalizes every cell's path to exactly the mean, so the
+//    calibrated gain field is identically 1 — ideal-interconnect
+//    arithmetic, bit for bit.
+//
+// Lives in src/xbar (not src/analog) because the WeightMapper folds these
+// gains into every FaultView; the analog BIST current model layers the same
+// config onto its Kirchhoff sums in analog/column_current.*.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace remapd {
+
+/// How word/bit lines are driven / sensed.
+enum class LineScheme : std::uint8_t {
+  kSingleSided = 0,  ///< all drivers on one edge: monotone position gain
+  kAlternating = 1,  ///< X-CHANGR alternating drive: uniform average gain
+};
+
+[[nodiscard]] constexpr const char* line_scheme_name(LineScheme s) {
+  return s == LineScheme::kSingleSided ? "single-sided" : "alternating";
+}
+
+struct IrDropConfig {
+  /// Series wire resistance per cell-to-cell segment, in ohms. 0 disables
+  /// the model entirely (ideal interconnect — the pre-scenario default).
+  double wire_ohms_per_cell = 0.0;
+  /// Representative cell resistance for the gain linearization (R_on: the
+  /// low-resistance state draws the most current and sees the worst drop).
+  double reference_ohms = 1.0e4;
+
+  [[nodiscard]] bool enabled() const { return wire_ohms_per_cell > 0.0; }
+};
+
+/// Wire segments in series with cell (row, col) of a rows x cols array.
+/// Single-sided: the row line is driven from the col-0 edge and the bit
+/// line sensed at the row-0 edge, so the path grows with both indices.
+/// Alternating: the average over both drive directions per line — a
+/// position-independent constant ((rows + 1)/2 + (cols + 1)/2).
+[[nodiscard]] double ir_path_segments(std::size_t row, std::size_t col,
+                                      std::size_t rows, std::size_t cols,
+                                      LineScheme scheme);
+
+/// Calibrated gain of cell (row, col)'s contribution: the raw path gain
+/// divided by the mean-path gain the periphery calibrates its full-scale
+/// to. 1.0 exactly when the model is off or the scheme is alternating;
+/// spread around 1.0 (driven corner > 1, far corner < 1) single-sided.
+[[nodiscard]] double ir_cell_gain(std::size_t row, std::size_t col,
+                                  std::size_t rows, std::size_t cols,
+                                  const IrDropConfig& cfg, LineScheme scheme);
+
+/// Dense row-major rows x cols field of ir_cell_gain values.
+[[nodiscard]] std::vector<float> ir_gain_field(std::size_t rows,
+                                               std::size_t cols,
+                                               const IrDropConfig& cfg,
+                                               LineScheme scheme);
+
+}  // namespace remapd

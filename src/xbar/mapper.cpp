@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "xbar/transient.hpp"
+
 namespace remapd {
 namespace {
 
@@ -86,34 +88,61 @@ FaultView WeightMapper::build_fault_view(std::size_t layer, Phase phase,
   FaultView view;
   view.w_max = w_max;
   view.mode = mode;
+  const std::size_t weight_cols = layer_dims_[layer].second;
+  if (ir_drop_.enabled())
+    view.gain.assign(layer_dims_[layer].first * weight_cols, 1.0f);
+
+  // Layer weight matrix is R x C. Crossbar cell (i, j) holds stored
+  // matrix element (blk.row0 + j, blk.col0 + i): matrix columns map onto
+  // crossbar rows (inputs) and matrix rows onto crossbar columns
+  // (outputs). The stored matrix is W for forward tasks and W^T for
+  // backward tasks; the clamp / gain index always addresses W's flat
+  // layout, so the backward view transposes back.
+  const auto weight_index = [&](const WeightBlock& blk, std::size_t r,
+                                std::size_t c) {
+    const std::size_t stored_row = blk.row0 + c;
+    const std::size_t stored_col = blk.col0 + r;
+    const std::size_t w_row = phase == Phase::kForward ? stored_row
+                                                       : stored_col;
+    const std::size_t w_col = phase == Phase::kForward ? stored_col
+                                                       : stored_row;
+    return w_row * weight_cols + w_col;
+  };
+
   for (TaskId t = 0; t < tasks_.size(); ++t) {
     const WeightBlock& blk = tasks_[t];
     if (blk.layer != layer || blk.phase != phase) continue;
     const Crossbar& xb = rcs_->crossbar(task_to_xbar_[t]);
 
-    // Layer weight matrix is R x C. Crossbar cell (i, j) holds stored
-    // matrix element (blk.row0 + j, blk.col0 + i): matrix columns map onto
-    // crossbar rows (inputs) and matrix rows onto crossbar columns
-    // (outputs). The stored matrix is W for forward tasks and W^T for
-    // backward tasks; the clamp index always addresses W's flat layout, so
-    // the backward view transposes back.
     for (const auto& [r, c] : xb.faulty_cells()) {
       if (r >= blk.cols || c >= blk.rows) continue;  // outside occupancy
-      const std::size_t stored_row = blk.row0 + c;
-      const std::size_t stored_col = blk.col0 + r;
-      std::size_t w_row, w_col;
-      if (phase == Phase::kForward) {
-        w_row = stored_row;
-        w_col = stored_col;
-      } else {
-        w_row = stored_col;
-        w_col = stored_row;
-      }
       view.clamps.push_back(WeightClamp{
-          static_cast<std::uint32_t>(w_row * layer_dims_[layer].second +
-                                     w_col),
+          static_cast<std::uint32_t>(weight_index(blk, r, c)),
           clamp_kind(xb.fault_at(r, c), xb.fault_half_at(r, c))});
     }
+
+    // Live transient upsets read as full-scale drift until refreshed —
+    // same clamp semantics as a stuck-at, different lifetime.
+    if (transients_)
+      for (const UpsetCell& u : transients_->upsets_of(task_to_xbar_[t])) {
+        const std::size_t r = u.cell / xb.cols(), c = u.cell % xb.cols();
+        if (r >= blk.cols || c >= blk.rows) continue;
+        view.clamps.push_back(WeightClamp{
+            static_cast<std::uint32_t>(weight_index(blk, r, c)),
+            clamp_kind(u.toward_on ? CellFault::kStuckAt1
+                                   : CellFault::kStuckAt0,
+                       static_cast<PairHalf>(u.half))});
+      }
+
+    // IR-drop: every occupied cell's weight is attenuated by its wire
+    // path under the current line scheme. Crossbar cell (r, c) has row
+    // index r (word line) and column index c (bit line).
+    if (ir_drop_.enabled())
+      for (std::size_t r = 0; r < blk.cols; ++r)
+        for (std::size_t c = 0; c < blk.rows; ++c)
+          view.gain[weight_index(blk, r, c)] = static_cast<float>(
+              ir_cell_gain(r, c, xb.rows(), xb.cols(), ir_drop_,
+                           line_scheme_));
   }
   return view;
 }
@@ -132,7 +161,8 @@ void WeightMapper::record_weight_update() {
 }
 
 // Serialized layout (read_task_map must stay in sync): u64 num_tasks, then
-// per task: u64 layer, u8 phase, u64 row0/col0/rows/cols, u64 xbar.
+// per task: u64 layer, u8 phase, u64 row0/col0/rows/cols, u64 xbar;
+// trailed by u8 line scheme.
 void WeightMapper::save_state(ckpt::ByteWriter& w) const {
   w.u64(tasks_.size());
   for (TaskId t = 0; t < tasks_.size(); ++t) {
@@ -145,6 +175,7 @@ void WeightMapper::save_state(ckpt::ByteWriter& w) const {
     w.u64(b.cols);
     w.u64(task_to_xbar_[t]);
   }
+  w.u8(static_cast<std::uint8_t>(line_scheme_));
 }
 
 void WeightMapper::load_state(ckpt::ByteReader& r) {
@@ -179,12 +210,17 @@ void WeightMapper::load_state(ckpt::ByteReader& r) {
     assignment[t] = xbar;
     inverse[xbar] = t;
   }
+  const std::uint8_t scheme = r.u8();
+  if (scheme > static_cast<std::uint8_t>(LineScheme::kAlternating))
+    throw ckpt::CheckpointError("invalid line-scheme code " +
+                                std::to_string(scheme));
   task_to_xbar_ = std::move(assignment);
   xbar_to_task_ = std::move(inverse);
+  line_scheme_ = static_cast<LineScheme>(scheme);
 }
 
 std::vector<WeightMapper::TaskMapEntry> WeightMapper::read_task_map(
-    ckpt::ByteReader& r) {
+    ckpt::ByteReader& r, LineScheme* scheme) {
   const std::uint64_t count = r.u64();
   std::vector<TaskMapEntry> out;
   out.reserve(static_cast<std::size_t>(count));
@@ -203,6 +239,11 @@ std::vector<WeightMapper::TaskMapEntry> WeightMapper::read_task_map(
     e.xbar = static_cast<XbarId>(r.u64());
     out.push_back(e);
   }
+  const std::uint8_t code = r.u8();
+  if (code > static_cast<std::uint8_t>(LineScheme::kAlternating))
+    throw ckpt::CheckpointError("invalid line-scheme code " +
+                                std::to_string(code));
+  if (scheme) *scheme = static_cast<LineScheme>(code);
   return out;
 }
 

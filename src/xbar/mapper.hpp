@@ -17,9 +17,12 @@
 #include <vector>
 
 #include "nn/fault_view.hpp"
+#include "xbar/ir_drop.hpp"
 #include "xbar/rcs.hpp"
 
 namespace remapd {
+
+class TransientFaultModel;  // xbar/transient.hpp
 
 enum class Phase : std::uint8_t { kForward = 0, kBackward = 1 };
 
@@ -80,10 +83,26 @@ class WeightMapper : public ckpt::Snapshotable {
 
   /// Union of fault clamps over all blocks of `layer` in `phase`, using
   /// each block's currently assigned crossbar. `w_max` is the layer's
-  /// conductance full-scale (typically max |w| at write time).
+  /// conductance full-scale (typically max |w| at write time). Live
+  /// transient upsets (set_transients) are merged as clamps; an enabled
+  /// IR-drop config (set_ir_drop) additionally populates the view's
+  /// position-gain field under the current line scheme.
   [[nodiscard]] FaultView build_fault_view(
       std::size_t layer, Phase phase, float w_max,
       MappingMode mode = MappingMode::kSingleArrayBias) const;
+
+  /// Couple a transient-fault model into every subsequently built view
+  /// (nullptr detaches). The model must outlive the mapper.
+  void set_transients(const TransientFaultModel* transients) {
+    transients_ = transients;
+  }
+  /// Interconnect parasitics for subsequently built views.
+  void set_ir_drop(const IrDropConfig& cfg) { ir_drop_ = cfg; }
+  [[nodiscard]] const IrDropConfig& ir_drop() const { return ir_drop_; }
+  /// Line-drive scheme (the X-CHANGR mitigation flips this to
+  /// kAlternating). Survives checkpoints via save_state.
+  void set_line_scheme(LineScheme scheme) { line_scheme_ = scheme; }
+  [[nodiscard]] LineScheme line_scheme() const { return line_scheme_; }
 
   /// Ground-truth fault count that lands inside the occupied extent of the
   /// crossbar currently holding `t` (the portion that perturbs weights).
@@ -108,9 +127,11 @@ class WeightMapper : public ckpt::Snapshotable {
   }
 
   // Snapshotable: every task's block geometry plus its current crossbar
-  // assignment (the swaps Remap-D has performed live here). load_state
-  // verifies the stored blocks match the mapped model task-for-task, then
-  // applies the assignment and rebuilds the inverse map.
+  // assignment (the swaps Remap-D has performed live here), followed by
+  // the line-drive scheme (a policy decision that must survive resume
+  // because on_training_start is skipped then). load_state verifies the
+  // stored blocks match the mapped model task-for-task, then applies the
+  // assignment and rebuilds the inverse map.
   void save_state(ckpt::ByteWriter& w) const override;
   void load_state(ckpt::ByteReader& r) override;
 
@@ -122,8 +143,10 @@ class WeightMapper : public ckpt::Snapshotable {
     std::size_t row0 = 0, col0 = 0, rows = 0, cols = 0;
     XbarId xbar = 0;
   };
-  /// Parse a full save_state blob into inspector rows.
-  static std::vector<TaskMapEntry> read_task_map(ckpt::ByteReader& r);
+  /// Parse a full save_state blob into inspector rows (the trailing line
+  /// scheme is consumed and returned through `scheme` when non-null).
+  static std::vector<TaskMapEntry> read_task_map(ckpt::ByteReader& r,
+                                                 LineScheme* scheme = nullptr);
 
  private:
   Rcs* rcs_;
@@ -131,6 +154,9 @@ class WeightMapper : public ckpt::Snapshotable {
   std::vector<WeightBlock> tasks_;
   std::vector<XbarId> task_to_xbar_;
   std::vector<TaskId> xbar_to_task_;
+  const TransientFaultModel* transients_ = nullptr;
+  IrDropConfig ir_drop_{};
+  LineScheme line_scheme_ = LineScheme::kSingleSided;
 };
 
 }  // namespace remapd

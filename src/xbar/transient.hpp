@@ -1,0 +1,99 @@
+// Transient soft-error (conductance upset) model.
+//
+// Permanent stuck-at faults (xbar/fault_model.hpp) are device *failures*:
+// once a cell breaks it stays broken, and a march-style BIST finds it.
+// Transient upsets are a different physics (Khezeli & Zarandi,
+// arXiv:2412.03089): radiation strikes, read/write disturbs and
+// random-telegraph-noise drift flip a healthy cell's *stored conductance*
+// without damaging the device. The cell still programs correctly — but
+// until somebody verifies and rewrites it, the array computes with the
+// drifted value. Three consequences shape the model:
+//
+//  * arrivals are memoryless in time: each crossbar accrues a
+//    Poisson-distributed number of new upsets per epoch;
+//  * blind SGD write pulses do NOT clear an upset here (worst-case
+//    assumption: incremental +/- delta pulses move the drifted conductance
+//    by the same delta instead of re-anchoring it), and the stuck-at BIST
+//    is oblivious — its march patterns rewrite the array, but detection
+//    targets manufacturing faults, not stored data. Only an explicit
+//    verify-and-rewrite pass (the detect-and-refresh policy) removes one;
+//  * a refreshed cell is fully healthy again — no permanent damage.
+//
+// While live, an upset pins the cell at full-scale conductance (toward G_on
+// or G_off), so it enters the layer arithmetic through the same
+// WeightClamp mechanism as a stuck-at fault; the WeightMapper merges live
+// upsets into every FaultView it builds.
+//
+// Determinism contract (same as FaultInjector): each (round, crossbar)
+// draws from a child RNG derived statelessly from a base seed via
+// Rng::derive_seed, so the upset schedule is bitwise identical for any
+// REMAPD_THREADS and across checkpoint resume (the base seed and the full
+// live-upset state are Snapshotable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xbar/rcs.hpp"
+
+namespace remapd {
+
+struct TransientScenario {
+  bool enabled = false;
+  /// Poisson mean of new upsets per crossbar per epoch, as a fraction of
+  /// the crossbar's cell count (lambda = upset_rate * cells).
+  double upset_rate = 0.002;
+  /// Fraction of upsets drifting toward G_on (reads as +full-scale in the
+  /// single-array mapping); the rest drift toward G_off.
+  double toward_on_fraction = 0.5;
+};
+
+/// One live (undetected, unrefreshed) conductance upset.
+struct UpsetCell {
+  std::uint32_t cell = 0;    ///< flattened row * cols + col within the array
+  std::uint8_t toward_on = 0;  ///< 1: drifted to G_on, 0: to G_off
+  std::uint8_t half = 0;       ///< differential-pair half (PairHalf code)
+};
+
+class TransientFaultModel : public ckpt::Snapshotable {
+ public:
+  /// Draws the base seed from `rng` (one engine call), like FaultInjector.
+  TransientFaultModel(TransientScenario scenario, Rng& rng)
+      : scenario_(scenario), base_seed_(rng.engine()()) {}
+
+  [[nodiscard]] const TransientScenario& scenario() const { return scenario_; }
+
+  /// Accrue one epoch of Poisson upset arrivals on every crossbar of `rcs`
+  /// (parallel over crossbars, deterministic per the contract above).
+  /// Cells that are permanently faulty or already upset are skipped.
+  /// Returns the number of new upsets.
+  std::size_t step_epoch(const Rcs& rcs);
+
+  /// Live upsets on one crossbar, sorted by cell index.
+  [[nodiscard]] const std::vector<UpsetCell>& upsets_of(XbarId x) const;
+
+  /// Verify-and-rewrite: clear every live upset on `x`. Returns how many
+  /// cells were refreshed.
+  std::size_t clear_crossbar(XbarId x);
+
+  /// Live upsets across the whole RCS.
+  [[nodiscard]] std::size_t total_upsets() const;
+  /// Completed arrival rounds (== epochs stepped).
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+
+  // Snapshotable: base seed, completed rounds, and every live upset.
+  // Restoring reproduces both the remaining arrival schedule and the
+  // exact set of drifted cells the interrupted run computed with.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
+
+ private:
+  TransientScenario scenario_;
+  std::uint64_t base_seed_;  ///< drawn once from the trainer RNG
+  std::size_t rounds_ = 0;
+  /// Live upsets per crossbar, each vector sorted by cell index. Sized on
+  /// first step / first query.
+  std::vector<std::vector<UpsetCell>> live_;
+};
+
+}  // namespace remapd

@@ -253,6 +253,10 @@ void expect_bitwise_equal_history(const TrainResult& a, const TrainResult& b) {
     EXPECT_EQ(x.total_faults, y.total_faults) << "epoch " << i;
     EXPECT_EQ(x.new_faults, y.new_faults) << "epoch " << i;
     EXPECT_EQ(x.mean_density_est, y.mean_density_est) << "epoch " << i;
+    EXPECT_EQ(x.new_upsets, y.new_upsets) << "epoch " << i;
+    EXPECT_EQ(x.live_upsets, y.live_upsets) << "epoch " << i;
+    EXPECT_EQ(x.refreshed_cells, y.refreshed_cells) << "epoch " << i;
+    EXPECT_EQ(x.refresh_cycles, y.refresh_cycles) << "epoch " << i;
   }
   EXPECT_EQ(a.final_test_accuracy, b.final_test_accuracy);
   EXPECT_EQ(a.total_remaps, b.total_remaps);

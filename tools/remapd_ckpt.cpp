@@ -135,7 +135,9 @@ void dump_density(const ckpt::CheckpointReader& r) {
 
 void dump_task_map(const ckpt::CheckpointReader& r) {
   ckpt::ByteReader br = r.open("mapper");
-  const auto tasks = WeightMapper::read_task_map(br);
+  LineScheme scheme = LineScheme::kSingleSided;
+  const auto tasks = WeightMapper::read_task_map(br, &scheme);
+  std::printf(",\n  \"line_scheme\": \"%s\"", line_scheme_name(scheme));
   std::printf(",\n  \"task_map\": [");
   bool first = true;
   for (std::size_t t = 0; t < tasks.size(); ++t) {
