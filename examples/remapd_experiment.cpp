@@ -25,6 +25,10 @@
 //   --post-n PCT        crossbars gaining faults per epoch (%)
 //   --phase NAME        all|forward|backward (Fig. 5-style targeting)
 //   --mapping NAME      single|differential
+//   --cell-bits N       quantize cells to N-bit levels (1..4; default fp32)
+//   --quant-noise S     programming-noise sigma in level units (default 0)
+//   --int8              route layer MVMs through the int8 GEMM fast path
+//                       (requires --cell-bits)
 //   --csv PATH          append per-epoch records to a CSV file
 //   --checkpoint PATH   save a checkpoint here (default: every epoch)
 //   --checkpoint-every N  save every N epochs instead
@@ -116,6 +120,13 @@ int main(int argc, char** argv) {
       if (m == "single") cfg.mapping = MappingMode::kSingleArrayBias;
       else if (m == "differential") cfg.mapping = MappingMode::kDifferentialPair;
       else usage("unknown mapping");
+    } else if (flag == "--cell-bits") {
+      cfg.quant.enabled = true;
+      cfg.quant.cell_bits = static_cast<std::size_t>(std::atoi(next()));
+    } else if (flag == "--quant-noise") {
+      cfg.quant.program_noise_sigma = std::atof(next());
+    } else if (flag == "--int8") {
+      cfg.quant.int8_gemm = true;
     } else if (flag == "--csv") {
       csv_path = next();
     } else if (flag == "--checkpoint") {
@@ -132,6 +143,13 @@ int main(int argc, char** argv) {
     }
   }
   if (ideal) cfg.faults = FaultScenario::ideal();
+  if (cfg.quant.int8_gemm && !cfg.quant.enabled)
+    usage("--int8 requires --cell-bits");
+  try {
+    cfg.quant.validate();
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
   apply_env_overrides(cfg);
   if (!fault_model.empty()) {
     try {
@@ -145,6 +163,10 @@ int main(int argc, char** argv) {
               cfg.model.c_str(), cfg.policy.c_str(),
               synth_name(cfg.data.kind), cfg.epochs,
               static_cast<unsigned long long>(cfg.seed));
+  if (cfg.quant.enabled)
+    std::printf("quant: cell_bits=%zu noise=%g int8=%d\n",
+                cfg.quant.cell_bits, cfg.quant.program_noise_sigma,
+                cfg.quant.int8_gemm ? 1 : 0);
 
   const TrainResult r = train_with_faults(cfg);
   std::printf("%6s %10s %10s %10s %8s %10s %10s %8s %10s\n", "epoch", "loss",
@@ -162,12 +184,15 @@ int main(int argc, char** argv) {
     CsvWriter csv(csv_path);
     csv.header({"model", "policy", "dataset", "epoch", "loss", "train_acc",
                 "test_acc", "remaps", "faults", "new_faults", "new_upsets",
-                "live_upsets", "refreshed_cells", "refresh_cycles"});
+                "live_upsets", "refreshed_cells", "refresh_cycles",
+                "cell_bits", "int8"});
+    const std::size_t cell_bits = cfg.quant.enabled ? cfg.quant.cell_bits : 0;
     for (const EpochRecord& e : r.history)
       csv.row(cfg.model, cfg.policy, synth_name(cfg.data.kind), e.epoch,
               e.train_loss, e.train_accuracy, e.test_accuracy, e.remaps,
               e.total_faults, e.new_faults, e.new_upsets, e.live_upsets,
-              e.refreshed_cells, e.refresh_cycles);
+              e.refreshed_cells, e.refresh_cycles, cell_bits,
+              cfg.quant.int8_gemm ? 1 : 0);
     std::printf("wrote %s\n", csv_path.c_str());
   }
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the BENCH_*.json trajectory records.
 
-Runs `bench_gemm --json`, `bench_kernels --json`, `bench_fleet --json` and
-`bench_scenarios --json` from a build tree and compares the fresh records
+Runs `bench_gemm --json`, `bench_kernels --json`, `bench_fleet --json`,
+`bench_scenarios --json` and `bench_quant --json` from a build tree and
+compares the fresh records
 against the committed baselines in bench/baselines/. Three classes of
 field, three rules:
 
@@ -85,6 +86,23 @@ SCENARIOS_EXACT = [
 ]
 SCENARIOS_WALL = ["wall_seconds"]
 
+# Quantized-conductance bench: the determinism verdict (1-vs-4-thread int8
+# GEMM byte identity) and the ordering booleans (int8 >= 2x fp32
+# single-thread; 4-bit within 1pt of fp32 under each scenario) are the
+# contract — exact. GEMM point timings get the usual wall/floor treatment;
+# the accuracy points carry no timing fields and are gated through the
+# ordering booleans instead of raw floats.
+QUANT_EXACT = [
+    "deterministic",
+    "orderings.int8_2x_fp32_1t",
+    "orderings.four_bit_within_1pt_saf",
+    "orderings.four_bit_within_1pt_saf_transient",
+    "orderings.four_bit_within_1pt_saf_irdrop",
+]
+QUANT_POINT_WALL = ["median_ms"]
+QUANT_POINT_FLOOR = ["gflops"]
+QUANT_WALL = ["wall_seconds"]
+
 
 def dig(record, path):
     cur = record
@@ -159,8 +177,9 @@ def run_bench(binary, out_path):
 def check_points(gate, bench, baseline, fresh, exact_fields, wall_fields,
                  floor_fields):
     """Point lists matched on (workload, threads): wall fields bounded
-    above, throughput floors bounded below (checked only where the
-    baseline point reports them)."""
+    above, throughput floors bounded below. Both are checked only where
+    the baseline point reports them — benches mix timing points with
+    accuracy points that carry neither field."""
     for field in exact_fields:
         gate.exact(bench, field, dig(baseline, field), dig(fresh, field))
     base_points = {(p["workload"], p["threads"]): p
@@ -176,8 +195,9 @@ def check_points(gate, bench, baseline, fresh, exact_fields, wall_fields,
             gate.exact(bench, label, "present", "missing")
             continue
         for field in wall_fields:
-            gate.wall(bench, f"{label}.{field}", bp.get(field),
-                      fp.get(field))
+            if field in bp:
+                gate.wall(bench, f"{label}.{field}", bp.get(field),
+                          fp.get(field))
         for field in floor_fields:
             if field in bp:
                 gate.floor(bench, f"{label}.{field}", bp.get(field),
@@ -199,6 +219,13 @@ def check_scenarios(gate, baseline, fresh):
         gate.exact("scen", field, dig(baseline, field), dig(fresh, field))
     for field in SCENARIOS_WALL:
         gate.wall("scen", field, dig(baseline, field), dig(fresh, field))
+
+
+def check_quant(gate, baseline, fresh):
+    check_points(gate, "quant", baseline, fresh, QUANT_EXACT,
+                 QUANT_POINT_WALL, QUANT_POINT_FLOOR)
+    for field in QUANT_WALL:
+        gate.wall("quant", field, dig(baseline, field), dig(fresh, field))
 
 
 def check_fleet(gate, baseline, fresh):
@@ -234,6 +261,8 @@ def main():
         ("scenarios",
          os.path.join(args.build_dir, "bench", "bench_scenarios"),
          check_scenarios),
+        ("quant", os.path.join(args.build_dir, "bench", "bench_quant"),
+         check_quant),
     ]
 
     gate = Gate(args.slack)

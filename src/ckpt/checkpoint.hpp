@@ -40,7 +40,10 @@ namespace remapd {
 namespace ckpt {
 
 inline constexpr char kMagic[8] = {'R', 'M', 'D', 'C', 'K', 'P', 'T', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: crossbar sections gained a cell-bits marker + packed level codes
+// (quantized conductances), and the trainer fingerprint gained the quant
+// fields — older files are rejected with a clear version error.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 struct SectionInfo {
   std::string name;

@@ -39,6 +39,12 @@ struct JobSpec {
   std::size_t test = 128;
   std::uint64_t seed = 42;
   int priority = 0;              ///< higher runs first under `priority`
+  /// Multi-bit cell quantization: 0 = continuous fp32 cells (default),
+  /// 1..4 = quantized cells of that many bits with stochastic-rounding
+  /// array writes. Carried through migration inside the config fingerprint.
+  std::size_t cell_bits = 0;
+  /// Route the job's MVMs through the int8 GEMM fast path (needs cell_bits).
+  bool int8 = false;
 
   /// Throws FleetError (prefixed with `ctx`) unless the spec is runnable.
   void validate(const std::string& ctx) const;

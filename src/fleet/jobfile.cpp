@@ -66,6 +66,11 @@ void set_field(JobSpec& s, const std::string& where, const std::string& field,
   } else if (field == "priority") {
     s.priority =
         static_cast<int>(parse_int(where, field, value, -1'000'000, 1'000'000));
+  } else if (field == "cell_bits") {
+    s.cell_bits =
+        static_cast<std::size_t>(parse_int(where, field, value, 0, 4));
+  } else if (field == "int8") {
+    s.int8 = parse_int(where, field, value, 0, 1) != 0;
   } else {
     fail(where, "unknown field '" + field + "'");
   }

@@ -66,12 +66,21 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   // reaches C as 0 * NaN/Inf = NaN — the products are always issued, so the
   // ZeroSkipGate contract (sparsity must never mask NaN/Inf) holds by
   // construction.
+  const bool int8 = fwd_view_ && fwd_view_->int8_selected();
   GemmAPack local_pack;
+  Int8APack local_i8;
   GemmAPack& wpack = train ? fwd_pack_ : local_pack;
-  wpack.pack(out_ch_, cr, 1.0f, StridedOperand{we.data(), cr, 1});
-  // Fused multiplies bypass gemm()'s counters; account for them here so
-  // the flops trajectory stays complete.
-  telemetry::count("nn.conv.fused_flops", 2ull * out_ch_ * cc * cr * n);
+  Int8APack& wi8 = train ? fwd_i8_ : local_i8;
+  if (int8) {
+    wi8.pack(out_ch_, cr, StridedOperand{we.data(), cr, 1},
+             fwd_view_->int8_weight_scale());
+    telemetry::count("nn.conv.int8_flops", 2ull * out_ch_ * cc * cr * n);
+  } else {
+    wpack.pack(out_ch_, cr, 1.0f, StridedOperand{we.data(), cr, 1});
+    // Fused multiplies bypass gemm()'s counters; account for them here so
+    // the flops trajectory stays complete.
+    telemetry::count("nn.conv.fused_flops", 2ull * out_ch_ * cc * cr * n);
+  }
 
   // Samples are independent (disjoint cols/y slices, no reduction), so the
   // batch loop parallelizes without any change to per-sample arithmetic.
@@ -80,7 +89,16 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
       float* col = cols.data() + i * cr * cc;
       im2col(x.data() + i * in_ch_ * g.height * g.width, g, col);
       // y_i = We (out x cr) * col (cr x cc)
-      wpack.multiply(cc, col, cc, 0.0f, y.data() + i * out_ch_ * cc, cc);
+      float* yi = y.data() + i * out_ch_ * cc;
+      if (int8) {
+        // Non-finite activations take the fp32 route so divergence is
+        // never clamped away by quantization.
+        if (!wi8.multiply(cc, StridedOperand{col, cc, 1}, yi, cc))
+          gemm(false, false, out_ch_, cc, cr, 1.0f, we.data(), cr, col, cc,
+               0.0f, yi, cc);
+      } else {
+        wpack.multiply(cc, col, cc, 0.0f, yi, cc);
+      }
       // Bias broadcast over spatial positions.
       for (std::size_t o = 0; o < out_ch_; ++o) {
         float* plane = y.data() + (i * out_ch_ + o) * cc;
@@ -112,8 +130,15 @@ Tensor Conv2d::backward(const Tensor& dy) {
   const Tensor& wb = effective_weights(bwd_view_, bwd_eff_);
   // Fused path: pack We_bwd^T once (strides express the transpose — no
   // transposed copy is ever materialized) and reuse across all samples.
-  bwd_pack_.pack(cr, out_ch_, 1.0f, StridedOperand{wb.data(), 1, cr});
-  telemetry::count("nn.conv.fused_flops", 2ull * cr * cc * out_ch_ * n);
+  const bool int8 = bwd_view_ && bwd_view_->int8_selected();
+  if (int8) {
+    bwd_i8_.pack(cr, out_ch_, StridedOperand{wb.data(), 1, cr},
+                 bwd_view_->int8_weight_scale());
+    telemetry::count("nn.conv.int8_flops", 2ull * cr * cc * out_ch_ * n);
+  } else {
+    bwd_pack_.pack(cr, out_ch_, 1.0f, StridedOperand{wb.data(), 1, cr});
+    telemetry::count("nn.conv.fused_flops", 2ull * cr * cc * out_ch_ * n);
+  }
 
   // dW/db accumulate across samples — a reduction. Each block of samples
   // sums into its own scratch, and the scratches are merged in block-index
@@ -141,7 +166,13 @@ Tensor Conv2d::backward(const Tensor& dy) {
       gemm(false, true, out_ch_, cr, cc, 1.0f, dyi, cc, col, cc, 1.0f,
            dw.data(), cr);
       // dcol = We_bwd^T (cr x out) * dy_i (out x cc) — shared packed panel.
-      bwd_pack_.multiply(cc, dyi, cc, 0.0f, dcol.data(), cc);
+      if (int8) {
+        if (!bwd_i8_.multiply(cc, StridedOperand{dyi, cc, 1}, dcol.data(), cc))
+          gemm(true, false, cr, cc, out_ch_, 1.0f, wb.data(), cr, dyi, cc,
+               0.0f, dcol.data(), cc);
+      } else {
+        bwd_pack_.multiply(cc, dyi, cc, 0.0f, dcol.data(), cc);
+      }
       col2im(dcol.data(), g, dx.data() + i * in_ch_ * g.height * g.width);
       // db_blk += sum over spatial.
       for (std::size_t o = 0; o < out_ch_; ++o) {

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "nn/layer.hpp"
+#include "tensor/gemm_int8.hpp"
 #include "tensor/gemm_kernel.hpp"
 #include "tensor/im2col.hpp"
 
@@ -59,6 +60,11 @@ class Conv2d final : public Layer, public FaultableLayer {
   // on the training path — eval forwards may run concurrently, so they pack
   // into a call-local panel (mirroring the fwd_eff_ cache rule).
   GemmAPack fwd_pack_, bwd_pack_;
+  // Int8 fast path (taken when the FaultView selects it): the effective
+  // weights are exact small integers on the cell level grid, so the MVM
+  // runs as an exact int32 GEMM with one fp32 dequantization multiply.
+  // Same member-vs-local rule as the fp32 panels.
+  Int8APack fwd_i8_, bwd_i8_;
 
   // Saved for backward.
   Tensor last_cols_;  ///< im2col buffers, shape {N, col_rows*col_cols}

@@ -35,6 +35,7 @@ enum class WeightClampKind : std::uint8_t {
   kNegStuck0,  ///< SA0 in the negative array
   kNegStuck1,  ///< SA1 in the negative array
   kZeroed,     ///< connection deliberately severed (drop-connect baseline)
+  kLevel,      ///< pinned at an explicit decoded level (quantized upsets)
 };
 
 [[nodiscard]] constexpr bool is_stuck_at_1(WeightClampKind k) {
@@ -54,10 +55,14 @@ enum class WeightClampKind : std::uint8_t {
 /// harmless and the average corruption is far milder.
 enum class MappingMode : std::uint8_t { kSingleArrayBias, kDifferentialPair };
 
-/// One faulty cell mapped onto a flattened weight index.
+/// One faulty cell mapped onto a flattened weight index. `value` is only
+/// meaningful for kLevel clamps: the decoded weight the cell is pinned at
+/// (a quantized transient upset flips the stored code's MSB; the mapper
+/// decodes the flipped level at view-build time).
 struct WeightClamp {
   std::uint32_t index;    ///< flattened index into the layer's weight matrix
   WeightClampKind kind;
+  float value = 0.0f;     ///< pinned decoded weight (kLevel only)
 };
 
 /// The set of clamps a physical crossbar imposes on the logical weights of
@@ -70,10 +75,33 @@ struct FaultView {
   std::vector<float> gain;
   float w_max = 1.0f;  ///< conductance-mapping full-scale weight
   MappingMode mode = MappingMode::kSingleArrayBias;
+  /// Discrete conductance levels of the cells this task is mapped onto
+  /// (0 = continuous cells). Weights written by the stochastic programmer
+  /// lie on the L-level grid spanning [-w_max, +w_max].
+  std::size_t levels = 0;
+  /// True when the layer may run its MVMs through the int8 GEMM fast
+  /// path (quantized cells + the spec's int8_gemm opt-in). The layer
+  /// still falls back to fp32 for non-finite activations.
+  bool int8_path = false;
 
   [[nodiscard]] bool empty() const { return clamps.empty() && gain.empty(); }
 
+  /// Whether the layer holding this view should run the int8 GEMM fast
+  /// path for its MVMs (orthogonal to empty(): a fault-free quantized
+  /// layer still quantizes its arithmetic).
+  [[nodiscard]] bool int8_selected() const {
+    return int8_path && levels >= 2;
+  }
+  /// Weight quantization scale of the int8 path: one level step in the
+  /// signed-integer code space (w = qa * scale exactly for on-grid
+  /// weights; see tensor/gemm_int8.hpp).
+  [[nodiscard]] float int8_weight_scale() const {
+    return w_max / static_cast<float>(levels - 1);
+  }
+
   /// Effective weight of a single stuck cell given its digital value.
+  /// (kLevel clamps carry their pinned value on the clamp itself and are
+  /// resolved in apply().)
   [[nodiscard]] float clamp_value(float w, WeightClampKind kind) const {
     if (kind == WeightClampKind::kZeroed) return 0.0f;
     if (mode == MappingMode::kSingleArrayBias)
@@ -86,6 +114,7 @@ struct FaultView {
       case WeightClampKind::kNegStuck0: return wpos;
       case WeightClampKind::kNegStuck1: return wpos - w_max;
       case WeightClampKind::kZeroed: return 0.0f;  // handled above
+      case WeightClampKind::kLevel: return w;      // resolved in apply()
     }
     return w;
   }
@@ -111,7 +140,9 @@ struct FaultView {
         throw std::out_of_range("FaultView::apply: clamp index " +
                                 std::to_string(c.index) +
                                 " >= weight count " + std::to_string(n));
-      const float v = clamp_value(w[c.index], c.kind);
+      const float v = c.kind == WeightClampKind::kLevel
+                          ? c.value
+                          : clamp_value(w[c.index], c.kind);
       out[c.index] = gain.empty() ? v : v * gain[c.index];
     }
   }

@@ -44,6 +44,11 @@ void apply_gradient_pinning(const std::optional<FaultView>& view,
       // gradient, exactly like standard drop-connect regularization.
       if (c.kind == WeightClampKind::kZeroed)
         grad[c.index] = 0.0f;
+      else if (c.kind == WeightClampKind::kLevel)
+        // A level-flipped (upset) cell drifts toward the sign of its
+        // pinned level; pin the gradient the same way a stuck-at of that
+        // polarity would be pinned.
+        grad[c.index] = c.value >= 0.0f ? magnitude : -magnitude;
       else
         grad[c.index] = is_stuck_at_1(c.kind) ? magnitude : -magnitude;
     }

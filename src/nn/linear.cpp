@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/gemm.hpp"
 
@@ -47,9 +48,27 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   const Tensor& we =
       effective_weights(fwd_view_, train ? fwd_eff_ : local_eff);
   Tensor y(Shape{n, out_f_});
-  // y = x2 (n x in) * We^T (in x out)
-  gemm(false, true, n, out_f_, in_f_, 1.0f, x2.data(), in_f_, we.data(),
-       in_f_, 0.0f, y.data(), out_f_);
+  // y = x2 (n x in) * We^T (in x out). On the int8 path the quantized
+  // operand must be the A (weight) side, so the product is computed as
+  // We (out x in) * x2^T (in x n) and transposed into y (strides express
+  // both transposes — no copies).
+  bool done = false;
+  if (fwd_view_ && fwd_view_->int8_selected()) {
+    Int8APack local_i8;
+    Int8APack& wi8 = train ? fwd_i8_ : local_i8;
+    wi8.pack(out_f_, in_f_, StridedOperand{we.data(), in_f_, 1},
+             fwd_view_->int8_weight_scale());
+    std::vector<float> ct(out_f_ * n);
+    if (wi8.multiply(n, StridedOperand{x2.data(), 1, in_f_}, ct.data(), n)) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t o = 0; o < out_f_; ++o)
+          y.at(i, o) = ct[o * n + i];
+      done = true;
+    }
+  }
+  if (!done)
+    gemm(false, true, n, out_f_, in_f_, 1.0f, x2.data(), in_f_, we.data(),
+         in_f_, 0.0f, y.data(), out_f_);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t o = 0; o < out_f_; ++o) y.at(i, o) += bias_.value[o];
 
@@ -76,10 +95,25 @@ Tensor Linear::backward(const Tensor& dy) {
   apply_gradient_pinning(bwd_view_, weight_.grad);
 
   // dx = dy (n x out) * We_bwd (out x in) — via the backward crossbars.
+  // Int8 path: A = We_bwd^T (in x out), B = dy^T (out x n), transposed back.
   const Tensor& wb = effective_weights(bwd_view_, bwd_eff_);
   Tensor dx(Shape{n, in_f_});
-  gemm(false, false, n, in_f_, out_f_, 1.0f, dy.data(), out_f_, wb.data(),
-       in_f_, 0.0f, dx.data(), in_f_);
+  bool done = false;
+  if (bwd_view_ && bwd_view_->int8_selected()) {
+    bwd_i8_.pack(in_f_, out_f_, StridedOperand{wb.data(), 1, in_f_},
+                 bwd_view_->int8_weight_scale());
+    std::vector<float> ct(in_f_ * n);
+    if (bwd_i8_.multiply(n, StridedOperand{dy.data(), 1, out_f_}, ct.data(),
+                         n)) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < in_f_; ++j)
+          dx.at(i, j) = ct[j * n + i];
+      done = true;
+    }
+  }
+  if (!done)
+    gemm(false, false, n, in_f_, out_f_, 1.0f, dy.data(), out_f_, wb.data(),
+         in_f_, 0.0f, dx.data(), in_f_);
   return dx.reshaped(last_input_shape_);
 }
 

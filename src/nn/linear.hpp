@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "nn/layer.hpp"
+#include "tensor/gemm_int8.hpp"
 
 namespace remapd {
 
@@ -35,6 +36,9 @@ class Linear final : public Layer, public FaultableLayer {
 
   std::optional<FaultView> fwd_view_, bwd_view_;
   mutable Tensor fwd_eff_, bwd_eff_;
+  // Int8 fast-path panels (see conv2d.hpp): members only on the training
+  // path; eval forwards pack into call-locals.
+  Int8APack fwd_i8_, bwd_i8_;
   Tensor last_x_;  ///< input flattened to {N, in}, saved for backward
   Shape last_input_shape_;
 };

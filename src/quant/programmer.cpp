@@ -1,0 +1,70 @@
+#include "quant/programmer.hpp"
+
+#include "util/rng.hpp"
+
+namespace remapd {
+namespace {
+
+/// One stochastic-rounding write. `x` is the target position in code
+/// space (already noise-perturbed); returns the programmed code.
+/// Fixed draw order: exactly one uniform per cell when rounding is
+/// actually stochastic (interior positions), zero when clipped to an
+/// end of the grid — the branch depends only on the weight value, which
+/// is itself deterministic, so the stream stays reproducible.
+std::uint8_t stochastic_code(float x, std::size_t levels, Rng& rng) {
+  const float hi = static_cast<float>(levels - 1);
+  if (!(x > 0.0f)) return 0;  // clipped low (also catches NaN)
+  if (x >= hi) return static_cast<std::uint8_t>(levels - 1);
+  const float lo = static_cast<float>(static_cast<int>(x));
+  const float frac = x - lo;
+  std::uint8_t code = static_cast<std::uint8_t>(lo);
+  if (static_cast<float>(rng.uniform()) < frac) ++code;
+  return code;
+}
+
+}  // namespace
+
+void StochasticProgrammer::program_span(std::uint64_t xbar, float* w,
+                                        std::size_t n, float w_max) const {
+  const std::size_t levels = spec_.levels();
+  if (levels < 2 || n == 0) return;
+  Rng rng(Rng::derive_seed(Rng::derive_seed(base_seed_, rounds_), xbar));
+  const float span = 0.5f * static_cast<float>(levels - 1);
+  const float sigma = static_cast<float>(spec_.program_noise_sigma);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Position in code space: 0 at -w_max, levels-1 at +w_max.
+    float x = (w[i] / w_max + 1.0f) * span;
+    if (sigma > 0.0f) x += sigma * static_cast<float>(rng.normal());
+    w[i] = quant::level_decode(stochastic_code(x, levels, rng), levels,
+                               w_max);
+  }
+}
+
+void StochasticProgrammer::program_indexed(std::uint64_t xbar, float* w,
+                                           const std::uint32_t* idx,
+                                           std::size_t n,
+                                           float w_max) const {
+  const std::size_t levels = spec_.levels();
+  if (levels < 2 || n == 0) return;
+  Rng rng(Rng::derive_seed(Rng::derive_seed(base_seed_, rounds_), xbar));
+  const float span = 0.5f * static_cast<float>(levels - 1);
+  const float sigma = static_cast<float>(spec_.program_noise_sigma);
+  for (std::size_t i = 0; i < n; ++i) {
+    float& v = w[idx[i]];
+    float x = (v / w_max + 1.0f) * span;
+    if (sigma > 0.0f) x += sigma * static_cast<float>(rng.normal());
+    v = quant::level_decode(stochastic_code(x, levels, rng), levels, w_max);
+  }
+}
+
+void StochasticProgrammer::save_state(ckpt::ByteWriter& w) const {
+  w.u64(base_seed_);
+  w.u64(rounds_);
+}
+
+void StochasticProgrammer::load_state(ckpt::ByteReader& r) {
+  base_seed_ = r.u64();
+  rounds_ = r.u64();
+}
+
+}  // namespace remapd

@@ -1,0 +1,69 @@
+// Stochastic-rounding weight programmer: the write path of the quantized
+// conductance model (DESIGN.md §15).
+//
+// Every optimizer step ends with a *programming round*: each weight is
+// re-written onto its cell's discrete level grid with stochastic rounding
+// (round up with probability equal to the fractional position between the
+// two neighbouring levels), optionally after Gaussian programming noise.
+// Stochastic rounding keeps the quantized SGD unbiased — the expected
+// programmed value equals the requested one — which is what lets 3-4-bit
+// cells track fp32 training closely (cf. popfloat's CastToGfloat32Sr).
+//
+// Determinism contract: the randomness for (round r, crossbar x) comes
+// from a throwaway Rng seeded with
+//     derive_seed(derive_seed(base_seed, r), x)
+// — the same stateless per-unit derivation the fault injector and the
+// transient model use. Streams depend only on (base_seed, round, xbar),
+// never on thread count or iteration order, so any REMAPD_THREADS value
+// and any checkpoint resume produce bitwise-identical weights. The
+// programmer itself is Snapshotable: base seed + round counter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ckpt/snapshot.hpp"
+#include "quant/quant.hpp"
+
+namespace remapd {
+
+class StochasticProgrammer : public ckpt::Snapshotable {
+ public:
+  StochasticProgrammer(QuantSpec spec, std::uint64_t base_seed)
+      : spec_(spec), base_seed_(base_seed) {
+    spec_.validate();
+  }
+
+  [[nodiscard]] const QuantSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+  /// Program `n` weights in place: each is clipped to [-w_max, +w_max],
+  /// perturbed by programming noise (if sigma > 0), and stochastically
+  /// rounded to the level grid. The weights must be every element mapped
+  /// onto crossbar `xbar`, in a fixed caller-side order; the stream is
+  /// keyed by (current round, xbar) only.
+  void program_span(std::uint64_t xbar, float* w, std::size_t n,
+                    float w_max) const;
+
+  /// Gather-style variant for weights that are not contiguous: programs
+  /// `w[idx[i]]` for i in [0, n).
+  void program_indexed(std::uint64_t xbar, float* w,
+                       const std::uint32_t* idx, std::size_t n,
+                       float w_max) const;
+
+  /// Advance to the next programming round (call once per optimizer step,
+  /// after every crossbar's span has been programmed).
+  void advance_round() { ++rounds_; }
+
+  // Snapshotable: base seed + round counter, so a resumed run consumes
+  // exactly the streams the interrupted one would have.
+  void save_state(ckpt::ByteWriter& w) const override;
+  void load_state(ckpt::ByteReader& r) override;
+
+ private:
+  QuantSpec spec_;
+  std::uint64_t base_seed_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace remapd

@@ -1,0 +1,33 @@
+#include "quant/quant.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace remapd {
+
+void QuantSpec::validate() const {
+  if (!enabled) return;
+  if (cell_bits < 1 || cell_bits > 4)
+    throw std::invalid_argument(
+        "QuantSpec: cell_bits must be in 1..4, got " +
+        std::to_string(cell_bits));
+  if (program_noise_sigma < 0.0)
+    throw std::invalid_argument(
+        "QuantSpec: program_noise_sigma must be >= 0");
+}
+
+namespace quant {
+
+std::uint8_t level_encode_nearest(float w, std::size_t levels,
+                                  float w_max) {
+  // Position in code space: 0 at -w_max, L-1 at +w_max.
+  const float x =
+      (w / w_max + 1.0f) * 0.5f * static_cast<float>(levels - 1);
+  if (!(x > 0.0f)) return 0;  // also catches NaN
+  const float hi = static_cast<float>(levels - 1);
+  if (x >= hi) return static_cast<std::uint8_t>(levels - 1);
+  return static_cast<std::uint8_t>(x + 0.5f);
+}
+
+}  // namespace quant
+}  // namespace remapd

@@ -1,0 +1,76 @@
+// Multi-bit conductance quantization: the cell-level precision model
+// (ROADMAP item 4, DESIGN.md §15).
+//
+// A QuantSpec describes how many discrete conductance levels a cell can
+// hold (1-4 bits), the programming-noise sigma (in units of one level
+// step), and whether layers mapped onto quantized cells may take the int8
+// GEMM fast path. The spec rides inside CellParams so everything that
+// already consumes cell physics (RCS sizing, fault models, the mapper)
+// sees the precision model without new plumbing.
+//
+// Level geometry (single-array bias mapping): the L = 2^bits codes span
+// [-w_max, +w_max] uniformly, so codes 0 and L-1 decode to exactly -w_max
+// and +w_max. That makes the existing SAF full-scale clamps *identical*
+// to stuck levels (a stuck-at-1 cell is stuck at code L-1), and a
+// transient upset becomes a level flip (we model the worst single-bit
+// disturbance: an MSB flip, code ^ L/2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace remapd {
+
+/// Precision model for one ReRAM cell. Default-constructed = continuous
+/// conductances (the historical behaviour); `enabled` switches every
+/// write into stochastic-rounding onto the discrete level grid.
+struct QuantSpec {
+  bool enabled = false;
+  std::size_t cell_bits = 4;          ///< 1..4 bits per cell
+  double program_noise_sigma = 0.0;   ///< write noise, in level-step units
+  bool int8_gemm = false;             ///< allow the int8 GEMM fast path
+
+  /// Number of discrete levels (0 when the spec is disabled, i.e. the
+  /// cell is continuous).
+  [[nodiscard]] std::size_t levels() const {
+    return enabled ? (std::size_t{1} << cell_bits) : 0;
+  }
+
+  /// Throws std::invalid_argument for out-of-range fields (cell_bits
+  /// outside 1..4, negative noise).
+  void validate() const;
+};
+
+namespace quant {
+
+/// Decoded weight value of `code` on an L-level grid spanning
+/// [-w_max, +w_max]. Requires levels >= 2.
+inline float level_decode(std::uint8_t code, std::size_t levels,
+                          float w_max) {
+  return (2.0f * static_cast<float>(code) /
+              static_cast<float>(levels - 1) -
+          1.0f) *
+         w_max;
+}
+
+/// Nearest-level code for `w` (round-half-up in code space, clamped to
+/// the grid). Deterministic; used for boundary code commits and
+/// re-deriving codes from on-grid master weights.
+std::uint8_t level_encode_nearest(float w, std::size_t levels, float w_max);
+
+/// Map a code to the signed integer the int8 GEMM path multiplies with:
+/// 2*code - (L-1), in [-(L-1), +(L-1)]. The matching scale is
+/// w_max / (L-1).
+inline int level_to_int(std::uint8_t code, std::size_t levels) {
+  return 2 * static_cast<int>(code) - static_cast<int>(levels - 1);
+}
+
+/// The level a transient upset leaves a cell in: the worst single-bit
+/// disturbance, an MSB flip.
+inline std::uint8_t upset_level(std::uint8_t code, std::size_t levels) {
+  return static_cast<std::uint8_t>(code ^
+                                   static_cast<std::uint8_t>(levels >> 1));
+}
+
+}  // namespace quant
+}  // namespace remapd

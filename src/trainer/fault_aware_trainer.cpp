@@ -8,6 +8,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace remapd {
 namespace {
@@ -16,6 +17,10 @@ namespace {
 /// (REMAPD_WMAX_RMS overrides for ablation studies).
 const float kFullScaleRms = static_cast<float>(
     env_double_nonneg("REMAPD_WMAX_RMS", 4.0));
+
+/// Domain tag separating the stochastic programmer's seed stream from every
+/// other derive_seed consumer of cfg.seed.
+constexpr std::uint64_t kProgrammerSeedTag = 0x70726f67;  // "prog"
 
 }  // namespace
 
@@ -47,6 +52,10 @@ FaultAwareTrainer::FaultAwareTrainer(TrainerConfig cfg)
     blocks += 2 * fr * fc;  // forward + backward copies
   }
   RcsConfig rcfg = RcsConfig::sized_for(blocks, s, s);
+  // Quantized cells: the crossbars allocate level-code storage, and SAF /
+  // upset / IR-drop models act on discrete codes.
+  cfg_.quant.validate();
+  rcfg.cell.quant = cfg_.quant;
   rcs_ = std::make_unique<Rcs>(rcfg);
   mapper_ = std::make_unique<WeightMapper>(*rcs_);
   mapper_->map_layers(dims);
@@ -58,6 +67,9 @@ FaultAwareTrainer::FaultAwareTrainer(TrainerConfig cfg)
     mapper_->set_transients(transients_.get());
   }
   mapper_->set_ir_drop(cfg_.ir_drop);
+  if (cfg_.quant.enabled)
+    programmer_ = std::make_unique<StochasticProgrammer>(
+        cfg_.quant, Rng::derive_seed(cfg_.seed, kProgrammerSeedTag));
   policy_ = make_policy(cfg_.policy);
   density_.reset(rcs_->total_crossbars());
 
@@ -127,23 +139,63 @@ void FaultAwareTrainer::redeploy_interconnect(const IrDropConfig& ir,
   refresh_fault_views(epochs_completed());
 }
 
+float FaultAwareTrainer::compute_layer_w_max(std::size_t l) const {
+  // Conductance full-scale tracks the layer's dynamic range: the mapping
+  // allocates headroom of `kFullScaleRms` times the weight RMS (like a
+  // fixed-point quantizer clipping rare outliers). A stuck cell therefore
+  // represents a full-scale (multi-sigma) weight value, and conductance
+  // saturation bounds any drift to the same range.
+  const Tensor& w = layers_[l]->weight_param().value;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    sq += static_cast<double>(w[i]) * w[i];
+  const float rms = static_cast<float>(
+      std::sqrt(sq / static_cast<double>(std::max<std::size_t>(w.numel(), 1))));
+  return std::max(0.05f, kFullScaleRms * rms);
+}
+
+void FaultAwareTrainer::program_step() {
+  if (!programmer_) return;
+  if (task_indices_.empty()) {
+    // Write order per crossbar is remap-invariant, so the cache survives
+    // swaps. Backward tasks hold the transposed copy of the same weights;
+    // programming iterates forward tasks only, touching every master
+    // weight exactly once per round.
+    task_indices_.resize(mapper_->num_tasks());
+    for (TaskId t = 0; t < mapper_->num_tasks(); ++t)
+      if (mapper_->task(t).phase == Phase::kForward)
+        task_indices_[t] = mapper_->task_weight_indices(t);
+  }
+  // Tasks write disjoint weight slices from independent per-(round, xbar)
+  // RNG streams, so any thread partition produces identical bits.
+  parallel_for(0, mapper_->num_tasks(), 1,
+               [&](std::size_t t0, std::size_t t1) {
+    for (TaskId t = t0; t < t1; ++t) {
+      const WeightBlock& blk = mapper_->task(t);
+      if (blk.phase != Phase::kForward) continue;
+      const std::vector<std::uint32_t>& idx = task_indices_[t];
+      programmer_->program_indexed(
+          mapper_->xbar_of(t),
+          layers_[blk.layer]->weight_param().value.data(), idx.data(),
+          idx.size(), layer_w_max_[blk.layer]);
+    }
+  });
+  programmer_->advance_round();
+}
+
 void FaultAwareTrainer::refresh_fault_views(std::size_t view_epoch) {
   PolicyContext ctx = make_context(view_epoch);
   layer_w_max_.resize(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    // Conductance full-scale tracks the layer's dynamic range: the mapping
-    // allocates headroom of `kFullScaleRms` times the weight RMS (like a
-    // fixed-point quantizer clipping rare outliers). A stuck cell therefore
-    // represents a full-scale (multi-sigma) weight value, and conductance
-    // saturation bounds any drift to the same range.
-    const Tensor& w = layers_[l]->weight_param().value;
-    double sq = 0.0;
-    for (std::size_t i = 0; i < w.numel(); ++i)
-      sq += static_cast<double>(w[i]) * w[i];
-    const float rms = static_cast<float>(
-        std::sqrt(sq / static_cast<double>(std::max<std::size_t>(w.numel(), 1))));
-    const float w_max = std::max(0.05f, kFullScaleRms * rms);
+    const float w_max = compute_layer_w_max(l);
     layer_w_max_[l] = w_max;
+    // Quantized arrays: refresh the stored level codes before the views
+    // read them (upset decoding needs codes under the current w_max).
+    // Idempotent for fixed (weights, w_max), so the re-refresh after a
+    // checkpoint resume reproduces the interrupted run's codes exactly.
+    if (programmer_)
+      mapper_->commit_level_codes(
+          l, layers_[l]->weight_param().value.data(), w_max);
     FaultView fwd =
         mapper_->build_fault_view(l, Phase::kForward, w_max, cfg_.mapping);
     FaultView bwd =
@@ -195,6 +247,17 @@ void FaultAwareTrainer::begin_training() {
       ctx.at_training_start = true;
       policy_->on_training_start(ctx);
       result_.total_remaps += policy_->last_events().size();
+    }
+    if (programmer_) {
+      // Initial array write (round 0): deployment programs the fresh
+      // placement's crossbars, snapping the initial weights onto the level
+      // grid. Skipped on resume — the restored weights are already the
+      // programmed ones and the programmer resumes at its restored round.
+      REMAPD_TRACE_SPAN("array-write", "trainer");
+      layer_w_max_.resize(layers_.size());
+      for (std::size_t l = 0; l < layers_.size(); ++l)
+        layer_w_max_[l] = compute_layer_w_max(l);
+      program_step();
     }
   }
   {
@@ -275,6 +338,14 @@ void FaultAwareTrainer::train_one_epoch(std::size_t epoch, Batcher& batcher) {
             else if (wt[i] < -wm) wt[i] = -wm;
           }
         }
+
+      // Quantized arrays: the update lands in the arrays as a stochastic-
+      // rounding write — the master weights themselves live on the level
+      // grid (quantized storage, not just quantized inference).
+      if (programmer_) {
+        REMAPD_TRACE_SPAN("array-write", "trainer");
+        program_step();
+      }
     }
 
     loss_sum += static_cast<double>(batch_loss.loss) * batch.labels.size();

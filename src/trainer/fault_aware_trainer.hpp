@@ -20,6 +20,7 @@
 #include "core/remap_policy.hpp"
 #include "data/synth.hpp"
 #include "nn/sgd.hpp"
+#include "quant/programmer.hpp"
 #include "trainer/metrics.hpp"
 #include "xbar/fault_model.hpp"
 #include "xbar/transient.hpp"
@@ -47,6 +48,14 @@ struct TrainerConfig {
   TransientScenario transients{};
   /// Interconnect IR-drop (xbar/ir_drop.hpp); ideal wires by default.
   IrDropConfig ir_drop{};
+  /// Multi-bit cell quantization (quant/quant.hpp). When enabled, every
+  /// optimizer step ends with a stochastic-rounding array write that snaps
+  /// the master weights onto each crossbar's discrete level grid, and the
+  /// crossbars store level codes (SAF clamps and transient upsets then act
+  /// on codes). quant.int8_gemm additionally routes layer MVMs through the
+  /// int8 GEMM fast path. Off by default: fp32 runs are bit-identical to
+  /// pre-quantization builds.
+  QuantSpec quant{};
   PhaseFaultTarget fault_target = PhaseFaultTarget::kAll;
   std::string policy = "none";
   std::size_t xbar_size = 32;  ///< crossbar dimension for the scaled run
@@ -163,6 +172,13 @@ class FaultAwareTrainer {
   /// must see the same value whether the views are built at the end of
   /// epoch e or by begin_training() after a resume past epoch e.
   void refresh_fault_views(std::size_t view_epoch);
+  /// Conductance full-scale for layer `l` from its current weight RMS.
+  [[nodiscard]] float compute_layer_w_max(std::size_t l) const;
+  /// One array-write round (quantized runs only): stochastically round the
+  /// master weights of every forward task onto its crossbar's level grid,
+  /// then advance the programmer round. Stream per (round, crossbar), so
+  /// the result is identical at any REMAPD_THREADS.
+  void program_step();
   PolicyContext make_context(std::size_t epoch);
   /// Ordered (field, value) pairs of every config field that shapes the
   /// training trajectory — stored in the checkpoint and compared on resume.
@@ -181,6 +197,12 @@ class FaultAwareTrainer {
   /// Null unless cfg_.transients.enabled (so SAF-only runs draw exactly
   /// the RNG stream they always did).
   std::unique_ptr<TransientFaultModel> transients_;
+  /// Null unless cfg_.quant.enabled (same stream-preservation rule). Seeded
+  /// from cfg_.seed via derive_seed — never from rng_ draws.
+  std::unique_ptr<StochasticProgrammer> programmer_;
+  /// Per-task write-order cache for program_step (task_weight_indices is
+  /// remap-invariant); lazily built, empty slots for backward tasks.
+  std::vector<std::vector<std::uint32_t>> task_indices_;
   PolicyPtr policy_;
   FaultDensityMap density_;
   BistController bist_;

@@ -20,6 +20,9 @@
 //             baselines
 //   transients transient-upset base seed, completed rounds, and every
 //             still-drifted cell (absent marker when the scenario is off)
+//   quant     stochastic-programmer base seed + completed write rounds
+//             (absent marker when quantization is off); the crossbars'
+//             level codes travel inside "rcs"
 //   policy    the policy's name plus its Snapshotable payload (e.g.
 //             drop-connect's mask seed, refresh's lifetime totals)
 //   density   the BIST fault-density map + survey counter
@@ -134,6 +137,13 @@ FaultAwareTrainer::config_fingerprint() const {
                  fmt_f(cfg_.transients.toward_on_fraction));
   p.emplace_back("ir.wire_ohms", fmt_f(cfg_.ir_drop.wire_ohms_per_cell));
   p.emplace_back("ir.reference_ohms", fmt_f(cfg_.ir_drop.reference_ohms));
+  // 0 when quantization is off, so an fp32 checkpoint resumed with
+  // --cell-bits (or vice versa) fails naming the decisive field.
+  p.emplace_back("quant.cell_bits",
+                 std::to_string(cfg_.quant.enabled ? cfg_.quant.cell_bits
+                                                   : 0));
+  p.emplace_back("quant.noise", fmt_f(cfg_.quant.program_noise_sigma));
+  p.emplace_back("quant.int8", fmt_b(cfg_.quant.int8_gemm));
   p.emplace_back("fault_target",
                  std::to_string(static_cast<int>(cfg_.fault_target)));
   p.emplace_back("policy", cfg_.policy);
@@ -207,6 +217,12 @@ void FaultAwareTrainer::write_sections(ckpt::CheckpointWriter& w) {
     ckpt::ByteWriter& tw = w.section("transients");
     tw.boolean(transients_ != nullptr);
     if (transients_) transients_->save_state(tw);
+  }
+  {
+    // Same presence-flag pattern as "transients".
+    ckpt::ByteWriter& qw = w.section("quant");
+    qw.boolean(programmer_ != nullptr);
+    if (programmer_) programmer_->save_state(qw);
   }
   {
     ckpt::ByteWriter& pw = w.section("policy");
@@ -332,6 +348,16 @@ void FaultAwareTrainer::read_sections(const ckpt::CheckpointReader& reader) {
                   : "checkpoint has no transient-upset state but the "
                     "scenario is enabled in this config");
     if (transients_) transients_->load_state(r);
+  });
+  load("quant", [&](ckpt::ByteReader& r) {
+    const bool present = r.boolean();
+    if (present != (programmer_ != nullptr))
+      throw ckpt::CheckpointError(
+          present ? "checkpoint has quantized-programming state but "
+                    "quantization is disabled in this config"
+                  : "checkpoint has no quantized-programming state but "
+                    "quantization is enabled in this config");
+    if (programmer_) programmer_->load_state(r);
   });
   load("policy", [&](ckpt::ByteReader& r) {
     const std::string stored = r.str();

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
+#include "quant/quant.hpp"
 #include "util/rng.hpp"
 
 namespace remapd {
@@ -27,24 +29,34 @@ struct CellParams {
   double sa0_r_hi = 3.0e6;
   double read_voltage = 0.3;  ///< BIST read voltage (V)
 
-  /// Sample a stuck resistance for a fault of the given type.
+  /// Conductance precision model (disabled = continuous, the historical
+  /// behaviour). Rides here so RCS sizing, the fault models, and the
+  /// mapper all see the level grid without extra plumbing.
+  QuantSpec quant{};
+
+  /// Sample a stuck resistance for a fault of the given type. Callers
+  /// must pass a real fault: kNone used to silently alias HRS here, which
+  /// would let a future enum value masquerade as a stuck-at-0 cell.
   [[nodiscard]] double sample_stuck_resistance(CellFault f, Rng& rng) const {
     switch (f) {
       case CellFault::kStuckAt1: return rng.uniform(sa1_r_lo, sa1_r_hi);
       case CellFault::kStuckAt0: return rng.uniform(sa0_r_lo, sa0_r_hi);
       case CellFault::kNone: break;
     }
-    return r_off;
+    throw std::invalid_argument(
+        "CellParams::sample_stuck_resistance: not a stuck fault");
   }
 
   /// Nominal (mid-band) stuck resistance, used by BIST calibration.
+  /// Like sample_stuck_resistance, only real faults are accepted.
   [[nodiscard]] double nominal_stuck_resistance(CellFault f) const {
     switch (f) {
       case CellFault::kStuckAt1: return 0.5 * (sa1_r_lo + sa1_r_hi);
       case CellFault::kStuckAt0: return 0.5 * (sa0_r_lo + sa0_r_hi);
       case CellFault::kNone: break;
     }
-    return r_off;
+    throw std::invalid_argument(
+        "CellParams::nominal_stuck_resistance: not a stuck fault");
   }
 };
 

@@ -13,6 +13,11 @@ Crossbar::Crossbar(std::size_t rows, std::size_t cols, CellParams params)
       stuck_r_(rows * cols, params.r_off) {
   if (rows == 0 || cols == 0)
     throw std::invalid_argument("Crossbar: zero dimension");
+  params.quant.validate();
+  if (params.quant.enabled) {
+    code_bits_ = static_cast<std::uint8_t>(params.quant.cell_bits);
+    codes_.assign(rows * cols, 0);
+  }
 }
 
 bool Crossbar::inject_fault(std::size_t r, std::size_t c, CellFault type,
@@ -113,7 +118,10 @@ std::vector<std::pair<std::size_t, std::size_t>> Crossbar::faulty_cells()
 
 // Serialized layout (see also summarize_snapshot, which must stay in
 // sync): rows u64, cols u64, fault_count u64, array_writes u64, faults
-// u8vec, halves u8vec, stuck_r f64vec.
+// u8vec, halves u8vec, stuck_r f64vec, code_bits u8, then (only when
+// code_bits > 0) the level codes packed two-per-byte (low nibble first) as
+// a u8vec — the level-coded section that shrinks quantized crossbar
+// snapshots vs fp32 conductance storage.
 void Crossbar::save_state(ckpt::ByteWriter& w) const {
   w.u64(rows_);
   w.u64(cols_);
@@ -127,6 +135,14 @@ void Crossbar::save_state(ckpt::ByteWriter& w) const {
   w.vec_u8(f);
   w.vec_u8(h);
   w.vec_f64(stuck_r_);
+  w.u8(code_bits_);
+  if (code_bits_ != 0) {
+    std::vector<std::uint8_t> packed((codes_.size() + 1) / 2, 0);
+    for (std::size_t i = 0; i < codes_.size(); ++i)
+      packed[i / 2] |= static_cast<std::uint8_t>((codes_[i] & 0x0f)
+                                                 << (4 * (i % 2)));
+    w.vec_u8(packed);
+  }
 }
 
 void Crossbar::load_state(ckpt::ByteReader& r) {
@@ -164,6 +180,27 @@ void Crossbar::load_state(ckpt::ByteReader& r) {
   stuck_r_ = std::move(stuck);
   fault_count_ = count;
   array_writes_ = writes;
+  const std::uint8_t bits = r.u8();
+  if (bits != code_bits_)
+    throw ckpt::CheckpointError(
+        "crossbar cell-bits mismatch: stored " + std::to_string(bits) +
+        ", expected " + std::to_string(code_bits_));
+  if (bits != 0) {
+    const auto packed = r.vec_u8();
+    if (packed.size() != (cell_count() + 1) / 2)
+      throw ckpt::CheckpointError("crossbar level-code length mismatch");
+    const std::uint8_t max_code =
+        static_cast<std::uint8_t>((1u << bits) - 1);
+    for (std::size_t i = 0; i < codes_.size(); ++i) {
+      const std::uint8_t code =
+          (packed[i / 2] >> (4 * (i % 2))) & 0x0f;
+      if (code > max_code)
+        throw ckpt::CheckpointError("invalid level code " +
+                                    std::to_string(code) + " for " +
+                                    std::to_string(bits) + "-bit cells");
+      codes_[i] = code;
+    }
+  }
 }
 
 Crossbar::SnapshotSummary Crossbar::summarize_snapshot(ckpt::ByteReader& r) {
@@ -178,6 +215,18 @@ Crossbar::SnapshotSummary Crossbar::summarize_snapshot(ckpt::ByteReader& r) {
   for (std::uint8_t c : f) {
     if (c == static_cast<std::uint8_t>(CellFault::kStuckAt0)) ++s.sa0;
     if (c == static_cast<std::uint8_t>(CellFault::kStuckAt1)) ++s.sa1;
+  }
+  s.cell_bits = r.u8();
+  if (s.cell_bits != 0) {
+    const auto packed = r.vec_u8();
+    s.coded_bytes = packed.size();
+    s.fp32_equiv_bytes = s.rows * s.cols * sizeof(float);
+    s.code_hist.assign(std::size_t{1} << s.cell_bits, 0);
+    const std::size_t cells = s.rows * s.cols;
+    for (std::size_t i = 0; i < cells; ++i) {
+      const std::uint8_t code = (packed[i / 2] >> (4 * (i % 2))) & 0x0f;
+      if (code < s.code_hist.size()) ++s.code_hist[code];
+    }
   }
   return s;
 }

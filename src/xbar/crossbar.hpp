@@ -66,6 +66,22 @@ class Crossbar : public ckpt::Snapshotable {
   void record_array_write() { ++array_writes_; }
   [[nodiscard]] std::size_t array_writes() const { return array_writes_; }
 
+  // Level-coded weight storage (quantized-cell mode; DESIGN.md §15).
+  // When CellParams::quant is enabled the crossbar additionally stores the
+  // discrete level code of every cell — the value the fault models act on
+  // (stuck cell = stuck level, transient upset = level flip) and what the
+  // checkpoint serializes as a packed-nibble section (~8x smaller than
+  // fp32 conductances). Codes are committed by the mapper at view-refresh
+  // boundaries; continuous-mode crossbars carry no code storage.
+  [[nodiscard]] bool has_codes() const { return code_bits_ != 0; }
+  [[nodiscard]] std::size_t code_bits() const { return code_bits_; }
+  [[nodiscard]] std::uint8_t code_at(std::size_t r, std::size_t c) const {
+    return codes_[r * cols_ + c];
+  }
+  void set_code(std::size_t r, std::size_t c, std::uint8_t code) {
+    codes_[r * cols_ + c] = code;
+  }
+
   // Snapshotable: per-cell fault types / pair halves / stuck resistances
   // plus the fault and write counters. load_state validates dimensions and
   // recounts faults against the stored counter.
@@ -78,6 +94,11 @@ class Crossbar : public ckpt::Snapshotable {
     std::size_t rows = 0, cols = 0;
     std::size_t fault_count = 0, sa0 = 0, sa1 = 0;
     std::size_t array_writes = 0;
+    // Level-coded section (zero / empty when the crossbar is continuous).
+    std::size_t cell_bits = 0;
+    std::size_t coded_bytes = 0;       ///< packed on-disk size of the codes
+    std::size_t fp32_equiv_bytes = 0;  ///< what fp32 storage would cost
+    std::vector<std::size_t> code_hist;  ///< per-level cell counts
   };
   /// Consume one crossbar's save_state blob from `r` and summarize it.
   static SnapshotSummary summarize_snapshot(ckpt::ByteReader& r);
@@ -88,6 +109,8 @@ class Crossbar : public ckpt::Snapshotable {
   std::vector<CellFault> faults_;
   std::vector<PairHalf> halves_;
   std::vector<double> stuck_r_;
+  std::vector<std::uint8_t> codes_;  ///< per-cell level codes (quant mode)
+  std::uint8_t code_bits_ = 0;       ///< bits/cell; 0 = continuous
   std::size_t fault_count_ = 0;
   std::size_t array_writes_ = 0;
 };

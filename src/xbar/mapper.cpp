@@ -88,25 +88,17 @@ FaultView WeightMapper::build_fault_view(std::size_t layer, Phase phase,
   FaultView view;
   view.w_max = w_max;
   view.mode = mode;
-  const std::size_t weight_cols = layer_dims_[layer].second;
+  const QuantSpec& quant_spec = rcs_->config().cell.quant;
+  view.levels = quant_spec.levels();
+  view.int8_path = quant_spec.enabled && quant_spec.int8_gemm &&
+                   mode == MappingMode::kSingleArrayBias;
   if (ir_drop_.enabled())
-    view.gain.assign(layer_dims_[layer].first * weight_cols, 1.0f);
+    view.gain.assign(layer_dims_[layer].first * layer_dims_[layer].second,
+                     1.0f);
 
-  // Layer weight matrix is R x C. Crossbar cell (i, j) holds stored
-  // matrix element (blk.row0 + j, blk.col0 + i): matrix columns map onto
-  // crossbar rows (inputs) and matrix rows onto crossbar columns
-  // (outputs). The stored matrix is W for forward tasks and W^T for
-  // backward tasks; the clamp / gain index always addresses W's flat
-  // layout, so the backward view transposes back.
   const auto weight_index = [&](const WeightBlock& blk, std::size_t r,
                                 std::size_t c) {
-    const std::size_t stored_row = blk.row0 + c;
-    const std::size_t stored_col = blk.col0 + r;
-    const std::size_t w_row = phase == Phase::kForward ? stored_row
-                                                       : stored_col;
-    const std::size_t w_col = phase == Phase::kForward ? stored_col
-                                                       : stored_row;
-    return w_row * weight_cols + w_col;
+    return weight_flat_index(blk, r, c);
   };
 
   for (TaskId t = 0; t < tasks_.size(); ++t) {
@@ -121,12 +113,27 @@ FaultView WeightMapper::build_fault_view(std::size_t layer, Phase phase,
           clamp_kind(xb.fault_at(r, c), xb.fault_half_at(r, c))});
     }
 
-    // Live transient upsets read as full-scale drift until refreshed —
-    // same clamp semantics as a stuck-at, different lifetime.
+    // Live transient upsets. Continuous cells read as full-scale drift
+    // until refreshed — same clamp semantics as a stuck-at, different
+    // lifetime. Quantized cells instead suffer a *level flip*: the worst
+    // single-bit disturbance (MSB) of the committed level code, delivered
+    // as a kLevel clamp whose pinned value is decoded here. (Differential
+    // mapping keeps the continuous full-scale model: its per-half code
+    // semantics are out of scope for the single-array level grid.)
     if (transients_)
       for (const UpsetCell& u : transients_->upsets_of(task_to_xbar_[t])) {
         const std::size_t r = u.cell / xb.cols(), c = u.cell % xb.cols();
         if (r >= blk.cols || c >= blk.rows) continue;
+        if (view.levels != 0 && xb.has_codes() &&
+            mode == MappingMode::kSingleArrayBias) {
+          const std::uint8_t flipped =
+              quant::upset_level(xb.code_at(r, c), view.levels);
+          view.clamps.push_back(WeightClamp{
+              static_cast<std::uint32_t>(weight_index(blk, r, c)),
+              WeightClampKind::kLevel,
+              quant::level_decode(flipped, view.levels, w_max)});
+          continue;
+        }
         view.clamps.push_back(WeightClamp{
             static_cast<std::uint32_t>(weight_index(blk, r, c)),
             clamp_kind(u.toward_on ? CellFault::kStuckAt1
@@ -145,6 +152,53 @@ FaultView WeightMapper::build_fault_view(std::size_t layer, Phase phase,
                            line_scheme_));
   }
   return view;
+}
+
+// Layer weight matrix is R x C. Crossbar cell (i, j) holds stored matrix
+// element (blk.row0 + j, blk.col0 + i): matrix columns map onto crossbar
+// rows (inputs) and matrix rows onto crossbar columns (outputs). The
+// stored matrix is W for forward tasks and W^T for backward tasks; the
+// returned index always addresses W's flat layout, so backward blocks
+// transpose back.
+std::size_t WeightMapper::weight_flat_index(const WeightBlock& blk,
+                                            std::size_t r,
+                                            std::size_t c) const {
+  const std::size_t stored_row = blk.row0 + c;
+  const std::size_t stored_col = blk.col0 + r;
+  const std::size_t w_row =
+      blk.phase == Phase::kForward ? stored_row : stored_col;
+  const std::size_t w_col =
+      blk.phase == Phase::kForward ? stored_col : stored_row;
+  return w_row * layer_dims_[blk.layer].second + w_col;
+}
+
+std::vector<std::uint32_t> WeightMapper::task_weight_indices(
+    TaskId t) const {
+  const WeightBlock& blk = tasks_.at(t);
+  std::vector<std::uint32_t> out;
+  out.reserve(blk.rows * blk.cols);
+  for (std::size_t r = 0; r < blk.cols; ++r)
+    for (std::size_t c = 0; c < blk.rows; ++c)
+      out.push_back(
+          static_cast<std::uint32_t>(weight_flat_index(blk, r, c)));
+  return out;
+}
+
+void WeightMapper::commit_level_codes(std::size_t layer, const float* w,
+                                      float w_max) {
+  const std::size_t levels = rcs_->config().cell.quant.levels();
+  if (levels < 2) return;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const WeightBlock& blk = tasks_[t];
+    if (blk.layer != layer) continue;
+    Crossbar& xb = rcs_->crossbar(task_to_xbar_[t]);
+    if (!xb.has_codes()) continue;
+    for (std::size_t r = 0; r < blk.cols; ++r)
+      for (std::size_t c = 0; c < blk.rows; ++c)
+        xb.set_code(r, c,
+                    quant::level_encode_nearest(
+                        w[weight_flat_index(blk, r, c)], levels, w_max));
+  }
 }
 
 std::size_t WeightMapper::effective_fault_count(TaskId t) const {

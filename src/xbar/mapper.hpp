@@ -117,6 +117,22 @@ class WeightMapper : public ckpt::Snapshotable {
   /// (endurance bookkeeping driving post-deployment wear-out bias).
   void record_weight_update();
 
+  /// Flat indices (into the layer's W storage) of every weight element of
+  /// task `t`, in fixed cell-row-major order — the per-crossbar write
+  /// order of the stochastic programmer. Depends only on the block
+  /// geometry (never on the crossbar assignment), so callers may cache
+  /// the result across remaps.
+  [[nodiscard]] std::vector<std::uint32_t> task_weight_indices(
+      TaskId t) const;
+
+  /// Commit the level codes of every crossbar holding a task of `layer`
+  /// (both phases) from the layer's current weights: code = nearest level
+  /// of w on the L-level grid spanning [-w_max, +w_max]. No-op on
+  /// continuous crossbars. Idempotent for fixed (weights, w_max) — called
+  /// at every view-refresh boundary, including the re-refresh after a
+  /// checkpoint resume.
+  void commit_level_codes(std::size_t layer, const float* w, float w_max);
+
   [[nodiscard]] Rcs& rcs() { return *rcs_; }
   [[nodiscard]] const Rcs& rcs() const { return *rcs_; }
 
@@ -149,6 +165,13 @@ class WeightMapper : public ckpt::Snapshotable {
                                                  LineScheme* scheme = nullptr);
 
  private:
+  /// Flat W-storage index of crossbar cell (r, c) of `blk` (transposing
+  /// back for backward tasks) — the single indexing convention shared by
+  /// view building, code commits, and the programmer's write order.
+  [[nodiscard]] std::size_t weight_flat_index(const WeightBlock& blk,
+                                              std::size_t r,
+                                              std::size_t c) const;
+
   Rcs* rcs_;
   std::vector<std::pair<std::size_t, std::size_t>> layer_dims_;
   std::vector<WeightBlock> tasks_;

@@ -96,12 +96,23 @@ void dump_fault_summary(const ckpt::CheckpointReader& r) {
   std::uint64_t writes = 0;
   std::size_t worst = 0;
   double worst_density = 0.0, density_sum = 0.0;
+  std::size_t cell_bits = 0, coded_bytes = 0, fp32_bytes = 0;
+  std::vector<std::size_t> code_hist;
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto s = Crossbar::summarize_snapshot(br);
     faults += s.fault_count;
     sa0 += s.sa0;
     sa1 += s.sa1;
     writes += s.array_writes;
+    if (s.cell_bits > 0) {
+      cell_bits = s.cell_bits;
+      coded_bytes += s.coded_bytes;
+      fp32_bytes += s.fp32_equiv_bytes;
+      if (code_hist.size() < s.code_hist.size())
+        code_hist.resize(s.code_hist.size(), 0);
+      for (std::size_t c = 0; c < s.code_hist.size(); ++c)
+        code_hist[c] += s.code_hist[c];
+    }
     if (s.fault_count) ++faulty_xbars;
     const double d = s.rows != 0 && s.cols != 0
                          ? static_cast<double>(s.fault_count) /
@@ -121,6 +132,20 @@ void dump_fault_summary(const ckpt::CheckpointReader& r) {
               sa0, sa1, static_cast<unsigned long long>(writes),
               count ? density_sum / static_cast<double>(count) : 0.0, worst,
               worst_density);
+  if (cell_bits > 0) {
+    // Level-coded arrays: bits per cell, the fleet-wide code histogram, and
+    // the packed-nibble footprint vs the fp32 weight image it replaces.
+    std::printf(",\n  \"quant\": {\"cell_bits\": %zu, \"coded_bytes\": %zu, "
+                "\"fp32_equiv_bytes\": %zu, \"compression\": %.3g, "
+                "\"code_histogram\": [",
+                cell_bits, coded_bytes, fp32_bytes,
+                coded_bytes ? static_cast<double>(fp32_bytes) /
+                                  static_cast<double>(coded_bytes)
+                            : 0.0);
+    for (std::size_t c = 0; c < code_hist.size(); ++c)
+      std::printf("%s%zu", c ? ", " : "", code_hist[c]);
+    std::printf("]}");
+  }
 }
 
 void dump_density(const ckpt::CheckpointReader& r) {
